@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Every bench regenerates one paper artifact at (or near) paper scale,
+prints the rendered figure, and asserts the paper's *shape* findings
+(who wins, by roughly what factor).  Runs are single-shot — the
+interesting measurement is the virtual-time data inside the artifact,
+not the wall-clock of the harness — so rounds/iterations are pinned
+to 1 via ``benchmark.pedantic`` in each bench.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run a figure harness once under pytest-benchmark and print it."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,72 @@
+"""Extension bench — TEEMon-style continuous monitoring (§VI).
+
+Samples a TDX confidential VM at a 100 µs virtual interval while two
+contrasting workloads run, and prints per-interval sparklines.
+
+Shape assertions:
+- ``cpustress`` is flat compute: no bounce-buffer traffic at all;
+- ``iostress`` is bursty I/O: bounce-buffer bytes grow across the
+  run and I/O dominates its cost profile by the end;
+- both series are dense enough to see phases (>= 10 samples).
+"""
+
+from repro.core.launcher import FunctionLauncher
+from repro.core.timeseries import ContinuousMonitor
+from repro.experiments.report import render_table
+from repro.sim.ledger import CostCategory
+from repro.tee.registry import platform_by_name
+from repro.workloads.faas import workload_by_name
+
+
+def _monitored_run(workload_name: str, interval_ns: float = 100_000.0):
+    platform = platform_by_name("tdx", seed=12)
+    vm = platform.create_vm()
+    vm.boot()
+    monitor = ContinuousMonitor(interval_ns=interval_ns)
+    body = FunctionLauncher.for_language("lua").launch(
+        workload_by_name(workload_name)
+    )
+    vm.run(monitor.wrap(body), name=workload_name)
+    return monitor.series
+
+
+def test_continuous_monitoring(benchmark, capsys):
+    def run():
+        return {
+            "cpustress": _monitored_run("cpustress", interval_ns=20_000.0),
+            "iostress": _monitored_run("iostress"),
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    cpu, io = series["cpustress"], series["iostress"]
+
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Continuous monitoring — per-interval activity sparklines (TDX)",
+            ["workload", "signal", "sparkline", "samples"],
+            [
+                ["cpustress", "instructions",
+                 cpu.sparkline("instructions", 32), len(cpu)],
+                ["iostress", "bounce bytes",
+                 io.sparkline("bounce_buffer_bytes", 32), len(io)],
+                ["iostress", "vm transitions",
+                 io.sparkline("vm_transitions", 32), len(io)],
+            ],
+        ))
+
+    assert len(cpu) >= 10 and len(io) >= 10
+
+    # cpustress never touches the bounce buffers
+    assert cpu.samples[-1].bounce_buffer_bytes == 0
+    # iostress streams through them, and keeps growing over the run
+    assert io.samples[-1].bounce_buffer_bytes > 1 << 20
+    bounce = [s.bounce_buffer_bytes for s in io.samples]
+    assert bounce == sorted(bounce)
+
+    # by the end, I/O dominates iostress's cost profile
+    io_share = io.category_share(CostCategory.IO_WRITE)[-1]
+    bounce_share = io.category_share(CostCategory.BOUNCE_BUFFER)[-1]
+    assert io_share + bounce_share > 0.3
+    # ... while cpustress stays compute-bound
+    assert cpu.category_share(CostCategory.CPU)[-1] > 0.4

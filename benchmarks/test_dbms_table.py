@@ -1,0 +1,31 @@
+"""Bench E2 — §IV-C Confidential DBMS (speedtest, relative size 100).
+
+Shape assertions:
+- TDX and SEV-SNP ratios "very similar and close to 1";
+- CCA's overhead the largest, per-test averages reaching ~10x.
+"""
+
+from repro.experiments import run_dbms_table
+
+
+def test_dbms_speedtest(regenerate):
+    result = regenerate(run_dbms_table, seed=1, size=100, trials=3)
+
+    tdx = result.average_ratio("tdx")
+    sev = result.average_ratio("sev-snp")
+    cca = result.average_ratio("cca")
+
+    # "overheads for TDX and SEV-SNP are very similar and close to 1"
+    assert tdx < 1.25, f"TDX DBMS avg {tdx:.2f} too far from 1"
+    assert sev < 1.25, f"SEV DBMS avg {sev:.2f} too far from 1"
+    assert abs(tdx - sev) < 0.15, "TDX and SEV should be very similar"
+
+    # "the overhead introduced by CCA is the largest ones, on average
+    # up to 10x"
+    assert cca > 3.0, f"CCA DBMS avg {cca:.2f} too small"
+    assert result.max_ratio("cca") > 6.0
+    assert result.max_ratio("cca") < 20.0
+    assert cca > 3 * max(tdx, sev)
+
+    # the test mix covers the speedtest1 categories
+    assert len(result.test_names) == 16

@@ -1,0 +1,88 @@
+"""Extension bench — execution units beyond confidential VMs (§VI).
+
+Compares the same FaaS workloads across four execution units: a TDX
+confidential VM, an SGX enclave (first-generation, process-level), a
+confidential container (TDX sandbox + kata-style agent), and the
+plain VM baseline.
+
+Shape assertions, matching the literature the paper cites:
+- second-generation VM TEEs beat SGX on syscall/IO paths by a wide
+  margin (the motivation of §I);
+- confidential containers match TDX on compute but pay extra on I/O
+  and carry an "unpractical" cold start (§V, Segarra et al.);
+- pure compute is near-native everywhere.
+"""
+
+import statistics
+
+from repro.core.launcher import FunctionLauncher
+from repro.experiments.report import render_table
+from repro.tee import platform_by_name
+from repro.workloads.faas import workload_by_name
+
+UNITS = ("tdx", "sgx", "coco")
+WORKLOADS = ("cpustress", "logging", "iostress", "memstress", "filesystem")
+
+
+def _ratio(platform_name, workload_name, trials=8):
+    platform = platform_by_name(platform_name, seed=2)
+    secure = platform.create_vm()
+    secure.boot()
+    normal = platform.create_vm()
+    normal.config.secure = False
+    normal.boot()
+    body = FunctionLauncher.for_language("lua").launch(
+        workload_by_name(workload_name)
+    )
+    s = statistics.fmean(
+        secure.run(body, name=workload_name, trial=i).elapsed_ns
+        for i in range(trials)
+    )
+    n = statistics.fmean(
+        normal.run(body, name=workload_name, trial=i).elapsed_ns
+        for i in range(trials)
+    )
+    return s / n
+
+
+def test_execution_unit_comparison(benchmark, capsys):
+    def run():
+        grid = {
+            (unit, workload): _ratio(unit, workload)
+            for unit in UNITS for workload in WORKLOADS
+        }
+        coco = platform_by_name("coco")
+        grid["cold_start_ratio"] = (
+            coco.cold_start_ns(secure=True) / coco.cold_start_ns(secure=False)
+        )
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Execution units: secure/normal ratios per workload",
+            ["unit", *WORKLOADS, "cold start"],
+            [
+                [
+                    unit,
+                    *(f"{grid[(unit, w)]:.2f}" for w in WORKLOADS),
+                    f"{grid['cold_start_ratio']:.0f}x" if unit == "coco" else "-",
+                ]
+                for unit in UNITS
+            ],
+        ))
+
+    # compute near-native everywhere
+    for unit in UNITS:
+        assert grid[(unit, "cpustress")] < 1.4, unit
+
+    # SGX's OCALL tax: far worse than TDX on the syscall-heavy path
+    assert grid[("sgx", "logging")] > 2.5 * grid[("tdx", "logging")]
+    assert grid[("sgx", "memstress")] > grid[("tdx", "memstress")]
+
+    # confidential containers: TDX-like compute, worse I/O, huge cold start
+    assert abs(grid[("coco", "cpustress")] - grid[("tdx", "cpustress")]) < 0.15
+    assert grid[("coco", "iostress")] > 1.3 * grid[("tdx", "iostress")]
+    assert grid["cold_start_ratio"] > 10

@@ -1,0 +1,38 @@
+"""Bench E3 — Fig. 4: UnixBench index ratios.
+
+Shape assertions:
+- every TEE is slower than its normal VM;
+- ordering: TDX least overhead, SEV-SNP analogous (slightly more),
+  CCA the most by far;
+- UnixBench overheads exceed the ML/DBMS ones on the hardware TEEs
+  (the sleep/wake world-switch effect);
+- context-switch-heavy tests are the worst cells.
+"""
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_unixbench(regenerate):
+    result = regenerate(run_fig4, seed=1, trials=6, scale=0.3)
+
+    tdx = result.index_ratios["tdx"]
+    sev = result.index_ratios["sev-snp"]
+    cca = result.index_ratios["cca"]
+
+    assert tdx > 1.1 and sev > 1.1 and cca > 2.0
+    # "TDX introduces the least overhead, SEV-SNP leads to analogous
+    # figures, while CCA is the one introducing the most overhead"
+    assert tdx < sev < cca
+    assert abs(tdx - sev) < 0.2, "TDX and SEV should be analogous"
+    assert cca > 3.0
+
+    # overheads larger than ML (~1.05-1.1) and DBMS (~1.1)
+    assert tdx > 1.15
+    assert sev > 1.15
+
+    # the mechanism: frequent transitions; context switching is among
+    # the most penalised tests on TDX
+    assert result.transitions["tdx"] > 100
+    tdx_tests = result.test_ratios["tdx"]
+    assert tdx_tests["context1"] > tdx_tests["dhry2"]
+    assert tdx_tests["context1"] > tdx_tests["whetstone"]

@@ -1,0 +1,33 @@
+"""Bench E4 — Fig. 5: attestation creation/validation latency.
+
+Shape assertions (log-scale plot in the paper):
+- both SNP phases are faster than their TDX counterparts, by an
+  order of magnitude or more;
+- the TDX check is dominated by network round-trips to the Intel PCS
+  (TCB info + QE identity + two CRLs), whereas SNP verification
+  fetches certificates from the hardware;
+- TDX quote *generation* is the single slowest step.
+"""
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_attestation(regenerate):
+    result = regenerate(run_fig5, seed=1, trials=10)
+    lat = result.latencies_ns
+
+    # SNP faster on both phases, by >= 10x (log-scale-worthy gaps)
+    assert lat["sev-snp attest"] * 10 < lat["tdx attest"]
+    assert lat["sev-snp check"] * 10 < lat["tdx check"]
+
+    # TDX attest (DCAP quote generation) is the slowest bar
+    assert lat["tdx attest"] == max(lat.values())
+
+    # TDX check pays the PCS network round-trips
+    assert result.tdx_check_network_fraction > 0.6
+
+    # absolute scales are sane: SNP in single-digit ms, TDX in 100s of ms
+    assert 1e6 < lat["sev-snp attest"] < 50e6
+    assert 0.1e6 < lat["sev-snp check"] < 20e6
+    assert 100e6 < lat["tdx attest"] < 2000e6
+    assert 50e6 < lat["tdx check"] < 1000e6

@@ -1,0 +1,57 @@
+"""Bench E5 — Fig. 6: TDX + SEV-SNP FaaS heatmaps.
+
+Full paper grid: 25 workloads x 7 languages x 10 trials on both
+hardware TEEs.
+
+Shape assertions:
+- TDX faster on CPU- and memory-intensive workloads; SEV-SNP faster
+  on I/O (iostress / filesystem — TDX's bounce buffers);
+- heavier managed runtimes (Python/Node/Ruby) mean hotter rows than
+  Lua/LuaJIT/Go/Wasm;
+- a few cells dip below 1.0 (secure faster: the cache-hit effect);
+- overall ratios stay modest (close to 1) on both hardware TEEs.
+"""
+
+import statistics
+
+from repro.experiments import run_fig6
+from repro.experiments.fig6_heatmap import HEAVY_LANGS, LIGHT_LANGS
+from repro.workloads.base import WorkloadTrait
+
+
+def test_fig6_heatmap(regenerate):
+    result = regenerate(run_fig6, seed=1, trials=10)
+
+    # TDX wins cpu/memory, SEV wins io (trait means across the grid)
+    tdx_cpu = result.trait_mean("tdx", WorkloadTrait.CPU)
+    sev_cpu = result.trait_mean("sev-snp", WorkloadTrait.CPU)
+    tdx_mem = result.trait_mean("tdx", WorkloadTrait.MEMORY)
+    sev_mem = result.trait_mean("sev-snp", WorkloadTrait.MEMORY)
+    tdx_io = result.trait_mean("tdx", WorkloadTrait.IO)
+    sev_io = result.trait_mean("sev-snp", WorkloadTrait.IO)
+    assert tdx_cpu < sev_cpu, f"cpu: tdx {tdx_cpu:.3f} !< sev {sev_cpu:.3f}"
+    assert tdx_mem < sev_mem, f"mem: tdx {tdx_mem:.3f} !< sev {sev_mem:.3f}"
+    assert sev_io < tdx_io, f"io: sev {sev_io:.3f} !< tdx {tdx_io:.3f}"
+
+    # heavier language runtimes run hotter on both hardware TEEs
+    for platform in ("tdx", "sev-snp"):
+        heavy = statistics.fmean(
+            result.language_mean(platform, lang) for lang in HEAVY_LANGS
+        )
+        light = statistics.fmean(
+            result.language_mean(platform, lang) for lang in LIGHT_LANGS
+        )
+        assert heavy > light, (
+            f"{platform}: managed {heavy:.3f} !> lightweight {light:.3f}"
+        )
+
+    # "in a few cases the ratio is lower than 1"
+    assert result.cells_below_one("tdx") >= 2
+    # ... but not everywhere: the TEEs do cost something
+    total_cells = len(result.grids["tdx"])
+    assert result.cells_below_one("tdx") < total_cells / 4
+
+    # overheads are generally tenable (close to 1) on hardware TEEs
+    for platform in ("tdx", "sev-snp"):
+        grid_mean = statistics.fmean(result.grids[platform].values())
+        assert 1.0 < grid_mean < 1.35, f"{platform} grid mean {grid_mean:.3f}"

@@ -1,0 +1,38 @@
+"""Bench E6 — Fig. 7: CCA FaaS heatmap.
+
+The same 25 x 7 grid as Fig. 6 on CCA realms inside the FVP.
+
+Shape assertions:
+- CCA ratios are higher than both hardware TEEs overall ("more
+  lighter blue/red-ish cells");
+- the I/O cells are the extreme ones (emulated virtio);
+- even CCA's best cells carry visible overhead.
+"""
+
+import statistics
+
+from repro.experiments import run_fig6, run_fig7
+from repro.workloads.base import WorkloadTrait
+
+
+def test_fig7_cca_heatmap(regenerate):
+    result = regenerate(run_fig7, seed=1, trials=10)
+    # a reduced Fig. 6 rerun for the cross-figure comparison
+    hw = run_fig6(seed=1, trials=3)
+
+    cca_mean = statistics.fmean(result.grids["cca"].values())
+    tdx_mean = statistics.fmean(hw.grids["tdx"].values())
+    sev_mean = statistics.fmean(hw.grids["sev-snp"].values())
+
+    # "CCA incurs much higher overheads compared to the other TEEs"
+    assert cca_mean > 1.5 * tdx_mean
+    assert cca_mean > 1.5 * sev_mean
+
+    # I/O is the worst trait under the emulated stack
+    cca_io = result.trait_mean("cca", WorkloadTrait.IO)
+    cca_cpu = result.trait_mean("cca", WorkloadTrait.CPU)
+    assert cca_io > cca_cpu
+
+    # every cell shows overhead; no below-1 luck inside the simulator
+    assert min(result.grids["cca"].values()) > 1.0
+    assert result.cells_below_one("cca") == 0

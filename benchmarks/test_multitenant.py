@@ -1,0 +1,64 @@
+"""Extension bench — multi-tenant contention (§VI future work).
+
+"We intend to study the overheads of co-locating and executing
+several TEE-aware VMs inside the same host, as it happens in a
+typical cloud-based multi-tenant scenario."  This bench sweeps tenant
+counts on the 8-core TDX host and measures how per-request time
+degrades once the host is oversubscribed.
+
+Shape assertions:
+- at or below core count: no degradation;
+- beyond core count: monotone degradation, sublinear in the
+  oversubscription ratio (shared caches before timeslicing).
+"""
+
+import statistics
+
+from repro.core.host import Host
+from repro.core.launcher import FunctionLauncher
+from repro.experiments.report import render_table
+from repro.tee.registry import platform_by_name
+from repro.workloads.faas import workload_by_name
+
+TENANT_COUNTS = (1, 4, 8, 16, 32)
+
+
+def test_multitenant_contention(benchmark, capsys):
+    def run():
+        host = Host(name="h", platform=platform_by_name("tdx", seed=9))
+        for index in range(max(TENANT_COUNTS)):
+            host.provision_vm(9100 + index, secure=True)
+        body = FunctionLauncher.for_language("python").launch(
+            workload_by_name("cpustress")
+        )
+        means = {}
+        for tenants in TENANT_COUNTS:
+            requests = [(9100 + i, body, "cpustress") for i in range(tenants)]
+            results = host.route_colocated(requests)
+            means[tenants] = statistics.fmean(r.elapsed_ns for r in results)
+        return means
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    cores = 8   # the Xeon Gold 5515+ host
+
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Multi-tenant sweep — per-request mean time vs co-located "
+            "TDX VMs (8-core host)",
+            ["tenants", "mean time (ms)", "slowdown vs alone"],
+            [
+                [n, f"{means[n] / 1e6:.3f}", f"{means[n] / means[1]:.2f}x"]
+                for n in TENANT_COUNTS
+            ],
+        ))
+
+    # no penalty up to core count (within noise)
+    assert means[4] / means[1] < 1.1
+    assert means[cores] / means[1] < 1.1
+    # monotone degradation beyond
+    assert means[16] > means[cores]
+    assert means[32] > means[16]
+    # sublinear: 4x oversubscription costs less than 4x
+    assert means[32] / means[cores] < 4.0
+    assert means[32] / means[cores] > 2.0

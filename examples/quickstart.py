@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: measure TEE overhead for one function in three lines.
+
+Mirrors the paper's basic workflow (§III-C): upload a function, run it
+in a confidential VM and in a normal VM, compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ConfBench
+
+
+def main() -> None:
+    bench = ConfBench(seed=42)
+
+    # 1. upload a function to the gateway's database
+    bench.upload("cpustress")
+
+    # 2. run it on each TEE, secure vs normal, 10 trials each
+    print("cpustress (python) — secure/normal mean-time ratio, 10 trials\n")
+    for platform in ("tdx", "sev-snp", "cca"):
+        summary = bench.measure_overhead(
+            "cpustress", language="python", platform=platform, trials=10,
+        )
+        print(f"  {platform:8s} ratio {summary.ratio:6.3f}   "
+              f"secure {summary.secure_mean_ns / 1e6:8.3f} ms   "
+              f"normal {summary.normal_mean_ns / 1e6:8.3f} ms   "
+              f"({summary.overhead_percent:+.1f}%)")
+
+    # 3. inspect the perf metrics ConfBench piggybacks on each result
+    records = bench.invoke("cpustress", language="python", platform="tdx",
+                           trials=1)
+    perf = records[0].perf
+    print("\nperf stat (piggybacked with the result):")
+    for event in ("instructions", "cycles", "cache_references",
+                  "cache_misses", "vm_transitions"):
+        print(f"  {event:18s} {perf[event]:>14,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""ConfBench reproduction: easy evaluation of confidential VMs.
+
+A from-scratch Python reproduction of *"ConfBench: A Tool for Easy
+Evaluation of Confidential Virtual Machines"* (DSN 2025): the
+orchestration tool (gateway, TEE pools, hosts, relays, per-language
+function launchers, perf monitoring, REST API), the three TEE
+platforms it benches (Intel TDX, AMD SEV-SNP, ARM CCA-on-FVP) as
+calibrated simulators, the workload suites (25 FaaS functions across
+7 language runtimes, MobileNet-style ML inference, a mini SQL engine
+with a speedtest1-style stress mix, a Byte-UnixBench-style OS suite),
+and the full TDX/SNP attestation stacks with real RSA signatures.
+
+Quick start::
+
+    from repro import ConfBench
+
+    bench = ConfBench(seed=42)
+    bench.upload("cpustress")
+    summary = bench.measure_overhead("cpustress", language="python",
+                                     platform="tdx", trials=10)
+    print(f"TDX overhead: {summary.overhead_percent:+.1f}%")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results on every figure.
+"""
+
+from repro.core.api import ConfBench
+from repro.core.client import ConfBenchClient
+from repro.core.config import GatewayConfig, PlatformEntry, default_config
+from repro.core.gateway import Gateway, InvocationRequest
+from repro.core.results import InvocationRecord, RatioSummary
+from repro.errors import ConfBenchError
+from repro.tee.registry import available_platforms, platform_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfBench",
+    "ConfBenchClient",
+    "ConfBenchError",
+    "GatewayConfig",
+    "PlatformEntry",
+    "default_config",
+    "Gateway",
+    "InvocationRequest",
+    "InvocationRecord",
+    "RatioSummary",
+    "available_platforms",
+    "platform_by_name",
+    "__version__",
+]

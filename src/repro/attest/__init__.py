@@ -1,0 +1,70 @@
+"""Attestation stack.
+
+Reimplements, from scratch, the two attestation flows the paper
+measures in Fig. 5:
+
+- **Intel TDX**: the TD obtains a TDREPORT via TDCALL, the Quoting
+  Enclave (DCAP) turns it into a signed *quote*, and the verifier
+  checks it against collateral (TCB info, QE identity, CRLs) fetched
+  over the network from the Intel Provisioning Certification Service
+  (PCS) — the network round-trips are why TDX's "check" step is the
+  slow one in the paper.
+- **AMD SEV-SNP**: the guest requests a report from the AMD-SP
+  firmware, signed with the chip-unique VCEK; the verifier obtains
+  the ARK→ASK→VCEK chain *from the hardware/host* (no network) and
+  validates report signature and fields in three steps, which is why
+  both SNP phases are fast.
+
+Cryptography is real: pure-Python RSA (Miller–Rabin key generation,
+PKCS#1 v1.5-style SHA-384 signatures), JSON-canonical certificates,
+chains and CRLs.  Virtual time for crypto operations is charged
+through the execution context so the Fig. 5 bench can measure it.
+"""
+
+from repro.attest.crypto import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.attest.certs import (
+    Certificate,
+    CertificateAuthority,
+    CertificateRevocationList,
+    verify_chain,
+)
+from repro.attest.pcs import IntelPcs
+from repro.attest.tdx_quote import QuotingEnclave, TdxQuote, generate_tdx_quote
+from repro.attest.snp_report import (
+    AmdKeyInfrastructure,
+    SnpAttestationReport,
+    generate_snp_report,
+)
+from repro.attest.verifier import (
+    SnpVerifier,
+    TdxVerifier,
+    VerificationResult,
+)
+from repro.attest.cca_token import (
+    RealmToken,
+    RealmTokenVerifier,
+    request_realm_token,
+)
+
+__all__ = [
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "generate_keypair",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateRevocationList",
+    "verify_chain",
+    "IntelPcs",
+    "QuotingEnclave",
+    "TdxQuote",
+    "generate_tdx_quote",
+    "AmdKeyInfrastructure",
+    "SnpAttestationReport",
+    "generate_snp_report",
+    "TdxVerifier",
+    "SnpVerifier",
+    "VerificationResult",
+    "RealmToken",
+    "RealmTokenVerifier",
+    "request_realm_token",
+]

@@ -1,0 +1,135 @@
+"""CCA realm attestation tokens — the post-FVP path.
+
+The paper leaves CCA out of the attestation experiment because the
+FVP simulator lacks the required hardware; §VI promises to revisit
+once silicon arrives.  This module prepares that revisit:
+
+- :func:`request_realm_token` drives the RSI flow (the part that works
+  today): realm → RMM → unsigned token with measurements + challenge.
+- :class:`RealmTokenVerifier` validates token structure and challenge
+  binding, and — when given a CPAK (CCA Platform Attestation Key, the
+  piece only hardware can hold) — the signature too.  Without a CPAK
+  it refuses with :class:`~repro.errors.TeeUnsupportedError`, making
+  the simulator's gap explicit instead of silently accepting.
+
+Tests inject a software CPAK to exercise the full future flow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.attest.crypto import (
+    DIGEST_COST_PER_BYTE_NS,
+    SIGN_COST_NS,
+    VERIFY_COST_NS,
+    RsaKeyPair,
+)
+from repro.errors import QuoteVerificationError, TeeUnsupportedError
+from repro.guestos.context import ExecContext
+from repro.tee.cca import Realm, RealmManagementMonitor
+
+
+@dataclass(frozen=True)
+class RealmToken:
+    """A CCA attestation token (signed only when hardware provides a
+    CPAK)."""
+
+    realm_initial_measurement_hex: str
+    challenge_hex: str
+    rim_extensions: tuple[str, ...]
+    signed: bool
+    signature: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        return json.dumps(
+            {
+                "rim": self.realm_initial_measurement_hex,
+                "challenge": self.challenge_hex,
+                "extensions": list(self.rim_extensions),
+            },
+            sort_keys=True,
+        ).encode()
+
+
+def request_realm_token(
+    rmm: RealmManagementMonitor,
+    realm: Realm,
+    ctx: ExecContext,
+    challenge: bytes,
+    cpak: RsaKeyPair | None = None,
+) -> RealmToken:
+    """RSI_ATTESTATION_TOKEN, optionally signed by a hardware CPAK.
+
+    On FVP (``cpak=None``) the token comes back unsigned, exactly as
+    the paper's setup behaves.
+    """
+    raw, cost = rmm.rsi_attestation_token(realm.rid, challenge)
+    ctx.vm_transition(cost)
+    token = RealmToken(
+        realm_initial_measurement_hex=bytes(
+            raw["realm_initial_measurement"]
+        ).hex(),
+        challenge_hex=bytes(raw["challenge"]).hex(),
+        rim_extensions=tuple(raw["rim_extensions"]),
+        signed=False,
+    )
+    if cpak is None:
+        return token
+    body = token.body_bytes()
+    ctx.crypto(SIGN_COST_NS + len(body) * DIGEST_COST_PER_BYTE_NS)
+    return RealmToken(
+        realm_initial_measurement_hex=token.realm_initial_measurement_hex,
+        challenge_hex=token.challenge_hex,
+        rim_extensions=token.rim_extensions,
+        signed=True,
+        signature=cpak.sign(body),
+    )
+
+
+class RealmTokenVerifier:
+    """Realm-owner verification of CCA tokens."""
+
+    def __init__(self, expected_rim: bytes,
+                 cpak_public=None) -> None:
+        self.expected_rim_hex = expected_rim.hex()
+        self.cpak_public = cpak_public
+
+    def verify(self, token: RealmToken, ctx: ExecContext,
+               expected_challenge: bytes) -> bool:
+        """Check measurements, challenge binding, and (if possible)
+        the signature.
+
+        Raises
+        ------
+        QuoteVerificationError
+            On measurement/challenge mismatch or a bad signature.
+        TeeUnsupportedError
+            When the token is unsigned and no CPAK is pinned — the
+            FVP situation: structural checks pass but the paper's
+            "report can be cryptographically verified" step cannot run.
+        """
+        if token.realm_initial_measurement_hex != self.expected_rim_hex:
+            raise QuoteVerificationError(
+                "realm initial measurement does not match the expected RIM"
+            )
+        expected_hex = expected_challenge.ljust(64, b"\0").hex()
+        if token.challenge_hex != expected_hex:
+            raise QuoteVerificationError("challenge mismatch (stale token?)")
+
+        if not token.signed:
+            raise TeeUnsupportedError(
+                "token is unsigned: the FVP simulator has no CPAK; "
+                "structural checks passed but cryptographic verification "
+                "needs CCA hardware (paper §VI)"
+            )
+        if self.cpak_public is None:
+            raise TeeUnsupportedError(
+                "no CPAK public key pinned; cannot verify a signed token"
+            )
+        body = token.body_bytes()
+        ctx.crypto(VERIFY_COST_NS + len(body) * DIGEST_COST_PER_BYTE_NS)
+        if not self.cpak_public.verify(body, token.signature):
+            raise QuoteVerificationError("realm token signature invalid")
+        return True

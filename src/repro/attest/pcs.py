@@ -1,0 +1,150 @@
+"""Simulated Intel Provisioning Certification Service (PCS).
+
+The TDX verification flow (go-tdx-guest over DCAP's Quote Verification
+Library) retrieves collateral from Intel's online PCS: the PCK
+certificate CRLs, TCB info for the platform, and the QE identity.
+Those are real HTTPS round-trips in the paper's setup — the reason the
+TDX "check" phase is the slow bar in Fig. 5.
+
+The simulated PCS owns the Intel key hierarchy (Intel SGX/TDX Root CA
+→ PCK Platform CA → per-platform PCK leaf) and serves collateral
+documents; every ``fetch_*`` charges a WAN round-trip on the caller's
+execution context.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.attest.certs import (
+    Certificate,
+    CertificateAuthority,
+    CertificateRevocationList,
+)
+from repro.attest.crypto import RsaKeyPair, generate_keypair
+from repro.errors import AttestationError
+from repro.guestos.context import ExecContext
+from repro.hw.nic import NicModel, wan_path
+from repro.sim.rng import SimRng
+
+
+@dataclass(frozen=True)
+class TcbInfo:
+    """Signed TCB (trusted computing base) status for a platform."""
+
+    fmspc: str                  # platform family-model-stepping id
+    tcb_svn: str                # minimum acceptable security version
+    status: str                 # "UpToDate" | "OutOfDate" | ...
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return json.dumps(
+            {"fmspc": self.fmspc, "tcb_svn": self.tcb_svn, "status": self.status},
+            sort_keys=True,
+        ).encode()
+
+
+@dataclass(frozen=True)
+class QeIdentity:
+    """Signed identity (measurement) of the Quoting Enclave."""
+
+    mrsigner: str
+    isv_svn: int
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return json.dumps(
+            {"mrsigner": self.mrsigner, "isv_svn": self.isv_svn}, sort_keys=True
+        ).encode()
+
+
+class IntelPcs:
+    """The PCS endpoint plus the Intel CA hierarchy behind it."""
+
+    def __init__(
+        self,
+        rng: SimRng,
+        fmspc: str = "50806F000000",
+        tcb_svn: str = "TDX_1.5.05.46.698",
+        network: NicModel | None = None,
+    ) -> None:
+        self.rng = rng.child("intel-pcs")
+        self.network = network if network is not None else wan_path()
+        self.root_ca = CertificateAuthority("Intel SGX Root CA", self.rng)
+        self.pck_ca = CertificateAuthority(
+            "Intel PCK Platform CA", self.rng, issuer_ca=self.root_ca
+        )
+        self.fmspc = fmspc
+        self.tcb_svn = tcb_svn
+        self._tcb_signing_key: RsaKeyPair = generate_keypair(
+            self.rng.child("tcb-signing")
+        )
+        self.tcb_signing_cert = self.root_ca.issue(
+            "Intel TCB Signing", self._tcb_signing_key.public
+        )
+        self.request_log: list[str] = []
+
+    # -- provisioning (no network: happens at manufacturing time) -------
+
+    def provision_pck(self, platform_id: str, key) -> Certificate:
+        """Issue the per-platform PCK certificate."""
+        return self.pck_ca.issue(
+            f"PCK {platform_id}", key, extensions={"fmspc": self.fmspc}
+        )
+
+    # -- collateral endpoints (each costs a WAN round-trip) --------------
+
+    def _round_trip(self, ctx: ExecContext, endpoint: str, payload_bytes: int) -> None:
+        self.request_log.append(endpoint)
+        cost = self.network.round_trip(payload_bytes, self.rng)
+        ctx.charge_network(cost)
+
+    def fetch_tcb_info(self, ctx: ExecContext) -> TcbInfo:
+        """GET /tcb — signed TCB status for the platform."""
+        self._round_trip(ctx, "/sgx/certification/v4/tcb", 6_000)
+        unsigned = TcbInfo(
+            fmspc=self.fmspc, tcb_svn=self.tcb_svn, status="UpToDate", signature=b""
+        )
+        return TcbInfo(
+            fmspc=unsigned.fmspc,
+            tcb_svn=unsigned.tcb_svn,
+            status=unsigned.status,
+            signature=self._tcb_signing_key.sign(unsigned.payload()),
+        )
+
+    def fetch_qe_identity(self, ctx: ExecContext) -> QeIdentity:
+        """GET /qe/identity — signed QE identity."""
+        self._round_trip(ctx, "/sgx/certification/v4/qe/identity", 3_000)
+        unsigned = QeIdentity(mrsigner="intel-qe-signer", isv_svn=2, signature=b"")
+        return QeIdentity(
+            mrsigner=unsigned.mrsigner,
+            isv_svn=unsigned.isv_svn,
+            signature=self._tcb_signing_key.sign(unsigned.payload()),
+        )
+
+    def fetch_root_crl(self, ctx: ExecContext) -> CertificateRevocationList:
+        """GET /rootcacrl — the root CA's CRL."""
+        self._round_trip(ctx, "/sgx/certification/v4/rootcacrl", 1_500)
+        return self.root_ca.crl(now_ns=ctx.clock.now())
+
+    def fetch_pck_crl(self, ctx: ExecContext) -> CertificateRevocationList:
+        """GET /pckcrl — the PCK platform CA's CRL."""
+        self._round_trip(ctx, "/sgx/certification/v4/pckcrl", 2_500)
+        return self.pck_ca.crl(now_ns=ctx.clock.now())
+
+    def verify_tcb_signature(self, tcb: TcbInfo) -> bool:
+        """Check a TCB document against the TCB signing certificate."""
+        return self.tcb_signing_cert.public_key.verify(tcb.payload(), tcb.signature)
+
+    def verify_qe_identity_signature(self, identity: QeIdentity) -> bool:
+        """Check a QE identity document's signature."""
+        return self.tcb_signing_cert.public_key.verify(
+            identity.payload(), identity.signature
+        )
+
+
+def require_fresh_status(tcb: TcbInfo) -> None:
+    """Reject platforms whose TCB is not up to date."""
+    if tcb.status != "UpToDate":
+        raise AttestationError(f"platform TCB status is {tcb.status!r}")

@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+``confbench`` drives the tool from a shell:
+
+- ``confbench platforms`` — list configured execution platforms
+- ``confbench invoke -f cpustress -l python -p tdx [--normal]`` — run
+  a function and print per-trial times + perf metrics
+- ``confbench compare -f iostress -l lua -p tdx`` — secure/normal ratio
+- ``confbench serve --port 8080`` — start the REST gateway
+- ``confbench experiment fig3|fig4|fig5|fig6|fig7|fig8|dbms`` —
+  regenerate a paper artifact and print it
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.api import ConfBench
+from repro.core.rest import RestServer
+from repro.errors import ConfBenchError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="confbench",
+        description="Easy evaluation of confidential virtual machines "
+                    "(TDX / SEV-SNP / CCA, simulated substrates).",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("platforms", help="list execution platforms")
+    commands.add_parser("workloads", help="list available FaaS workloads")
+
+    invoke = commands.add_parser("invoke", help="run one function")
+    invoke.add_argument("-f", "--function", required=True)
+    invoke.add_argument("-l", "--language", required=True)
+    invoke.add_argument("-p", "--platform", default="tdx")
+    invoke.add_argument("--normal", action="store_true",
+                        help="use the non-confidential VM")
+    invoke.add_argument("-t", "--trials", type=int, default=3)
+    invoke.add_argument("--args", type=json.loads, default={},
+                        help="JSON dict of function arguments")
+
+    compare = commands.add_parser("compare",
+                                  help="secure/normal overhead ratio")
+    compare.add_argument("-f", "--function", required=True)
+    compare.add_argument("-l", "--language", required=True)
+    compare.add_argument("-p", "--platform", default="tdx")
+    compare.add_argument("-t", "--trials", type=int, default=10)
+    compare.add_argument("--args", type=json.loads, default={})
+    compare.add_argument("--save", metavar="FILE",
+                         help="append the trial records to a JSONL archive")
+    compare.add_argument("--label", default="run",
+                         help="label for the archived run (default: run)")
+
+    diff = commands.add_parser("diff",
+                               help="compare two archived runs' ratios")
+    diff.add_argument("archive", help="JSONL archive written by --save")
+    diff.add_argument("before", help="label of the baseline run")
+    diff.add_argument("after", help="label of the new run")
+
+    serve = commands.add_parser("serve", help="start the REST gateway")
+    serve.add_argument("--port", type=int, default=8080)
+
+    experiment = commands.add_parser("experiment",
+                                     help="regenerate a paper artifact")
+    experiment.add_argument("name", choices=(
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "dbms", "all",
+    ))
+    experiment.add_argument("--quick", action="store_true",
+                            help="reduced grid for a fast look")
+    return parser
+
+
+def _cmd_platforms(args) -> int:
+    bench = ConfBench(seed=args.seed)
+    for info in bench.platforms():
+        simulated = " (simulated)" if info["is_simulated"] else ""
+        attest = "attestation" if info["supports_attestation"] else "no attestation"
+        print(f"{info['name']:8s} {info['display_name']:16s}{simulated} "
+              f"host={info['host']} ports={info['ports']} [{attest}]")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    from repro.workloads.faas import all_workloads
+
+    for workload in all_workloads():
+        print(f"{workload.name:14s} [{workload.trait.value:6s}] "
+              f"{workload.description}  ({workload.origin})")
+    return 0
+
+
+def _cmd_invoke(args) -> int:
+    bench = ConfBench(seed=args.seed)
+    bench.upload(args.function)
+    records = bench.invoke(
+        args.function, args.language, platform=args.platform,
+        secure=not args.normal, args=args.args, trials=args.trials,
+    )
+    for record in records:
+        print(f"trial {record.trial}: {record.elapsed_ns / 1e6:10.3f} ms  "
+              f"instructions={record.perf.get('instructions', 'n/a')}")
+    print(json.dumps(records[0].output, indent=2, default=str))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    bench = ConfBench(seed=args.seed)
+    bench.upload(args.function)
+    secure = bench.invoke(args.function, args.language,
+                          platform=args.platform, secure=True,
+                          args=args.args, trials=args.trials)
+    normal = bench.invoke(args.function, args.language,
+                          platform=args.platform, secure=False,
+                          args=args.args, trials=args.trials)
+    from repro.core.results import summarize_ratio
+
+    summary = summarize_ratio(secure, normal)
+    print(f"{args.function} / {args.language} on {args.platform}:")
+    print(f"  secure mean : {summary.secure_mean_ns / 1e6:10.3f} ms")
+    print(f"  normal mean : {summary.normal_mean_ns / 1e6:10.3f} ms")
+    print(f"  ratio       : {summary.ratio:10.3f} "
+          f"({summary.overhead_percent:+.1f}% overhead)")
+    if args.save:
+        from repro.core.resultstore import ResultStore
+
+        ResultStore(args.save).save(args.label, args.seed, secure + normal)
+        print(f"  archived    : {len(secure) + len(normal)} records -> "
+              f"{args.save} (label {args.label!r})")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.core.resultstore import ResultStore, compare_runs
+
+    store = ResultStore(args.archive)
+    drift = compare_runs(store.run(args.before), store.run(args.after))
+    print(f"ratio drift {args.before!r} -> {args.after!r}:")
+    for (function, language, platform), entry in drift.items():
+        print(f"  {function}/{language or 'native'} on {platform}: "
+              f"{entry['before']:.3f} -> {entry['after']:.3f} "
+              f"({entry['drift_percent']:+.1f}%)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    bench = ConfBench(seed=args.seed)
+    server = RestServer(bench.gateway, port=args.port)
+    print(f"ConfBench gateway on http://127.0.0.1:{server.port} "
+          "(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro import experiments
+
+    quick = args.quick
+    small_workloads = ("cpustress", "memstress", "iostress", "logging",
+                       "factors", "filesystem")
+    small_langs = ("python", "lua", "go")
+    if args.name == "all":
+        from repro.experiments.summary import run_evaluation
+
+        summary = run_evaluation(seed=args.seed, quick=args.quick)
+        print(summary.render())
+        return 0 if summary.all_hold else 1
+    if args.name == "fig3":
+        result = experiments.run_fig3(
+            seed=args.seed,
+            image_count=10 if quick else 40,
+            trials=1 if quick else 3,
+        )
+    elif args.name == "fig4":
+        result = experiments.run_fig4(seed=args.seed,
+                                      trials=3 if quick else 5)
+    elif args.name == "fig5":
+        result = experiments.run_fig5(seed=args.seed,
+                                      trials=3 if quick else 10)
+    elif args.name == "fig6":
+        result = experiments.run_fig6(
+            seed=args.seed,
+            workloads=small_workloads if quick else
+            experiments.fig6_heatmap.FIGURE_WORKLOAD_NAMES,
+            languages=small_langs if quick else
+            experiments.fig6_heatmap.RUNTIME_NAMES,
+            trials=3 if quick else 10,
+        )
+    elif args.name == "fig7":
+        result = experiments.run_fig7(
+            seed=args.seed,
+            workloads=small_workloads if quick else
+            experiments.fig6_heatmap.FIGURE_WORKLOAD_NAMES,
+            languages=small_langs if quick else
+            experiments.fig6_heatmap.RUNTIME_NAMES,
+            trials=3 if quick else 10,
+        )
+    elif args.name == "fig8":
+        result = experiments.run_fig8(
+            seed=args.seed,
+            workloads=small_workloads if quick else
+            experiments.fig6_heatmap.FIGURE_WORKLOAD_NAMES,
+            trials=10,
+        )
+    else:
+        result = experiments.run_dbms_table(
+            seed=args.seed, size=20 if quick else 100,
+            trials=2 if quick else 3,
+        )
+    print(result.render())
+    return 0
+
+
+_COMMANDS = {
+    "platforms": _cmd_platforms,
+    "workloads": _cmd_workloads,
+    "invoke": _cmd_invoke,
+    "compare": _cmd_compare,
+    "serve": _cmd_serve,
+    "diff": _cmd_diff,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfBenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

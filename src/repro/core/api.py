@@ -1,0 +1,96 @@
+"""The high-level ConfBench facade.
+
+One object that wires the whole tool together — the "easy evaluation"
+entry point the examples and experiment harnesses use:
+
+>>> bench = ConfBench(seed=42)
+>>> bench.upload("cpustress")
+>>> summary = bench.measure_overhead("cpustress", language="python",
+...                                  platform="tdx", trials=10)
+>>> summary.ratio        # doctest: +SKIP
+1.05
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import GatewayConfig, default_config
+from repro.core.gateway import Gateway, InvocationRequest
+from repro.core.results import InvocationRecord, RatioSummary, summarize_ratio
+
+
+class ConfBench:
+    """Facade over the gateway for secure/normal comparisons."""
+
+    def __init__(self, config: GatewayConfig | None = None,
+                 seed: int = 0) -> None:
+        if config is None:
+            config = default_config(seed=seed)
+        self.gateway = Gateway(config)
+
+    # -- uploads --------------------------------------------------------
+
+    def upload(self, function_name: str,
+               languages: tuple[str, ...] | None = None) -> None:
+        """Upload a built-in workload."""
+        self.gateway.upload(function_name, languages)
+
+    def upload_custom(self, workload,
+                      languages: tuple[str, ...] | None = None) -> None:
+        """Upload a user-supplied workload."""
+        self.gateway.upload_custom(workload, languages)
+
+    # -- invocation ----------------------------------------------------------
+
+    def invoke(self, function: str, language: str, platform: str = "tdx",
+               secure: bool = True, args: dict[str, Any] | None = None,
+               trials: int | None = None) -> list[InvocationRecord]:
+        """Run one FaaS function; returns per-trial records."""
+        return self.gateway.invoke(InvocationRequest(
+            function=function,
+            language=language,
+            platform=platform,
+            secure=secure,
+            args=args if args is not None else {},
+            trials=trials,
+        ))
+
+    def run_classic(self, name: str, fn, platform: str = "tdx",
+                    secure: bool = True,
+                    trials: int = 1) -> list[InvocationRecord]:
+        """Run a classic workload callable (receives the guest kernel)."""
+        return self.gateway.invoke_native(name, fn, platform, secure, trials)
+
+    # -- comparisons -------------------------------------------------------------
+
+    def measure_overhead(self, function: str, language: str,
+                         platform: str = "tdx",
+                         args: dict[str, Any] | None = None,
+                         trials: int | None = None) -> RatioSummary:
+        """Secure-vs-normal ratio for one FaaS function (the paper's
+        headline metric: ratio of mean times over matched trials)."""
+        secure = self.invoke(function, language, platform, secure=True,
+                             args=args, trials=trials)
+        normal = self.invoke(function, language, platform, secure=False,
+                             args=args, trials=trials)
+        return summarize_ratio(secure, normal)
+
+    def measure_classic_overhead(self, name: str, fn, platform: str = "tdx",
+                                 trials: int = 10) -> RatioSummary:
+        """Secure-vs-normal ratio for a classic workload callable."""
+        secure = self.run_classic(name, fn, platform, secure=True,
+                                  trials=trials)
+        normal = self.run_classic(name, fn, platform, secure=False,
+                                  trials=trials)
+        return summarize_ratio(secure, normal)
+
+    # -- introspection -----------------------------------------------------------
+
+    def platforms(self) -> list[dict[str, Any]]:
+        """Configured platform facts."""
+        return self.gateway.platforms()
+
+    def functions(self) -> list[str]:
+        """Uploaded function names."""
+        return self.gateway.functions()

@@ -1,0 +1,78 @@
+"""HTTP client for the REST interface."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.errors import GatewayError
+
+
+class ConfBenchClient:
+    """Talks to a :class:`repro.core.rest.RestServer` over HTTP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 30.0) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (json.JSONDecodeError, OSError):
+                detail = ""
+            raise GatewayError(
+                f"{method} {path} failed with {exc.code}: {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise GatewayError(f"cannot reach gateway at {url}: {exc}") from exc
+
+    # -- API methods ----------------------------------------------------
+
+    def health(self) -> dict:
+        """GET /health."""
+        return self._request("GET", "/health")
+
+    def platforms(self) -> list[dict]:
+        """GET /platforms."""
+        return self._request("GET", "/platforms")
+
+    def functions(self) -> list[str]:
+        """GET /functions."""
+        return self._request("GET", "/functions")
+
+    def upload(self, name: str,
+               languages: list[str] | None = None) -> dict:
+        """POST /functions."""
+        payload: dict[str, Any] = {"name": name}
+        if languages is not None:
+            payload["languages"] = languages
+        return self._request("POST", "/functions", payload)
+
+    def invoke(self, function: str, language: str, platform: str = "tdx",
+               secure: bool = True, args: dict | None = None,
+               trials: int | None = None) -> list[dict]:
+        """POST /invoke; returns per-trial records."""
+        payload: dict[str, Any] = {
+            "function": function,
+            "language": language,
+            "platform": platform,
+            "secure": secure,
+            "args": args if args is not None else {},
+        }
+        if trials is not None:
+            payload["trials"] = trials
+        return self._request("POST", "/invoke", payload)

@@ -1,0 +1,124 @@
+"""Gateway configuration.
+
+§III-A: "a dedicated gateway configuration file maps TEEs and their
+interface ports".  :class:`GatewayConfig` is that file's in-memory
+form, JSON round-trippable so deployments can keep it on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import GatewayError
+
+
+@dataclass
+class PlatformEntry:
+    """One execution platform the gateway can dispatch to."""
+
+    platform: str            # registry name: tdx / sev-snp / cca / novm
+    host: str                # host machine identifier
+    base_port: int           # first port of this platform's VM range
+    vm_count: int = 2        # secure + normal by default
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (1024 <= self.base_port <= 65000):
+            raise GatewayError(f"base port out of range: {self.base_port}")
+        if self.vm_count < 1:
+            raise GatewayError(f"need at least one VM: {self.vm_count}")
+
+    def ports(self) -> list[int]:
+        """The destination ports assigned to this platform's VMs."""
+        return list(range(self.base_port, self.base_port + self.vm_count))
+
+
+@dataclass
+class GatewayConfig:
+    """The full gateway configuration."""
+
+    entries: list[PlatformEntry] = field(default_factory=list)
+    load_balancing: str = "round-robin"
+    default_trials: int = 10        # the paper's 10 independent trials
+
+    def __post_init__(self) -> None:
+        if self.default_trials < 1:
+            raise GatewayError(f"trials must be >= 1: {self.default_trials}")
+        seen_ports: set[int] = set()
+        for entry in self.entries:
+            overlap = seen_ports.intersection(entry.ports())
+            if overlap:
+                raise GatewayError(f"port collision on {sorted(overlap)}")
+            seen_ports.update(entry.ports())
+
+    def entry_for(self, platform: str) -> PlatformEntry:
+        """The configuration entry for a platform."""
+        for entry in self.entries:
+            if entry.platform == platform:
+                return entry
+        known = ", ".join(sorted(e.platform for e in self.entries))
+        raise GatewayError(f"platform {platform!r} not configured (have: {known})")
+
+    def platforms(self) -> list[str]:
+        """Configured platform names, in entry order."""
+        return [entry.platform for entry in self.entries]
+
+    # -- JSON round-trip -------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to the on-disk configuration format."""
+        return json.dumps(
+            {
+                "load_balancing": self.load_balancing,
+                "default_trials": self.default_trials,
+                "platforms": [
+                    {
+                        "platform": entry.platform,
+                        "host": entry.host,
+                        "base_port": entry.base_port,
+                        "vm_count": entry.vm_count,
+                        "seed": entry.seed,
+                    }
+                    for entry in self.entries
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GatewayConfig":
+        """Parse the on-disk configuration format."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GatewayError(f"bad gateway config JSON: {exc}") from exc
+        entries = [
+            PlatformEntry(
+                platform=item["platform"],
+                host=item["host"],
+                base_port=item["base_port"],
+                vm_count=item.get("vm_count", 2),
+                seed=item.get("seed", 0),
+            )
+            for item in payload.get("platforms", [])
+        ]
+        return cls(
+            entries=entries,
+            load_balancing=payload.get("load_balancing", "round-robin"),
+            default_trials=payload.get("default_trials", 10),
+        )
+
+
+def default_config(seed: int = 0) -> GatewayConfig:
+    """The paper's testbed: TDX, SEV-SNP and CCA hosts plus a plain VM."""
+    return GatewayConfig(entries=[
+        PlatformEntry(platform="tdx", host="xeon-gold-5515",
+                      base_port=9100, seed=seed),
+        PlatformEntry(platform="sev-snp", host="epyc-9124",
+                      base_port=9200, seed=seed),
+        PlatformEntry(platform="cca", host="arm-fvp",
+                      base_port=9300, seed=seed),
+        PlatformEntry(platform="novm", host="xeon-gold-5515",
+                      base_port=9400, seed=seed),
+    ])

@@ -1,0 +1,52 @@
+"""Request transport model: the Fig. 2 dispatch path.
+
+§III-C walks a request through ① user → gateway, ② gateway picks the
+platform, ③ gateway → host, ④ host routes by port to the VM, ⑤ the
+result returns.  Function *execution* time (what the figures report)
+excludes this transport; ConfBench still pays it per request, and the
+CCA path pays extra — §III-B describes the tap/tun forwarding chain
+needed to reach VMs inside the FVP.
+
+:class:`DispatchModel` prices the round trip so the gateway can report
+``transport_ns`` alongside each result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GatewayError
+from repro.hw.nic import NicModel, lan_path
+from repro.sim.rng import SimRng
+from repro.tee.base import TeePlatform
+from repro.tee.cca import CcaPlatform
+
+#: In-host hop from the steering port to the VM's virtio-net.
+_HOST_TO_VM_NS = 45_000.0
+
+
+@dataclass
+class DispatchModel:
+    """Prices one request/response exchange along the Fig. 2 path."""
+
+    user_to_gateway: NicModel = field(default_factory=lan_path)
+    gateway_to_host: NicModel = field(default_factory=lan_path)
+    rng: SimRng = field(default_factory=lambda: SimRng(0, "dispatch"))
+
+    def round_trip_ns(self, platform: TeePlatform,
+                      request_bytes: int = 2048,
+                      response_bytes: int = 4096) -> float:
+        """Total transport time for one request to ``platform``.
+
+        CCA requests additionally traverse the tap/tun chain into the
+        FVP (both directions).
+        """
+        if request_bytes < 0 or response_bytes < 0:
+            raise GatewayError("negative payload size")
+        total = self.user_to_gateway.round_trip(request_bytes, self.rng)
+        total += self.gateway_to_host.round_trip(request_bytes, self.rng)
+        total += 2 * _HOST_TO_VM_NS
+        total += self.user_to_gateway.round_trip(response_bytes, self.rng)
+        if isinstance(platform, CcaPlatform):
+            total += 2 * platform.fvp.network_extra_ns()
+        return total

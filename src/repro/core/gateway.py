@@ -1,0 +1,161 @@
+"""The ConfBench gateway.
+
+The entry point for all requests (§III-A): it owns the function
+store, the host fleet, the TEE pools, and a perf monitor per
+platform.  ``invoke`` runs one request end-to-end the way Fig. 2
+draws it: ① function + arguments arrive, ② the gateway picks normal
+vs. secure and the platform, ③ the request goes to the host, ④ the
+host routes by port to the VM, which executes and returns the result
+with perf metrics piggybacked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import GatewayConfig, default_config
+from repro.core.dispatch import DispatchModel
+from repro.core.host import Host
+from repro.core.launcher import FunctionLauncher, native_launcher
+from repro.core.monitor import PerfMonitor
+from repro.core.pool import LoadBalancingPolicy, TeePool
+from repro.core.results import InvocationRecord
+from repro.core.storage import FunctionStore
+from repro.errors import GatewayError
+from repro.tee.registry import platform_by_name
+
+
+@dataclass
+class InvocationRequest:
+    """What a user submits."""
+
+    function: str
+    language: str | None = None        # None = classic (native) workload
+    platform: str = "tdx"
+    secure: bool = True
+    args: dict[str, Any] = field(default_factory=dict)
+    trials: int | None = None          # None = config default
+
+
+class Gateway:
+    """Receives, dispatches, and returns workload requests."""
+
+    def __init__(self, config: GatewayConfig | None = None) -> None:
+        self.config = config if config is not None else default_config()
+        self.store = FunctionStore()
+        self.hosts: dict[str, Host] = {}
+        self.pools: dict[tuple[str, bool], TeePool] = {}
+        self.monitors: dict[str, PerfMonitor] = {}
+        self.dispatch_model = DispatchModel()
+        policy = LoadBalancingPolicy.parse(self.config.load_balancing)
+        for entry in self.config.entries:
+            platform = platform_by_name(entry.platform, seed=entry.seed)
+            host = Host(name=entry.host + "/" + entry.platform,
+                        platform=platform)
+            self.hosts[entry.platform] = host
+            self.monitors[entry.platform] = PerfMonitor(platform=platform)
+            ports = entry.ports()
+            secure_pool = TeePool(platform=entry.platform, secure=True,
+                                  policy=policy)
+            normal_pool = TeePool(platform=entry.platform, secure=False,
+                                  policy=policy)
+            for offset, port in enumerate(ports):
+                secure = offset % 2 == 0
+                vm = host.provision_vm(port, secure=secure)
+                (secure_pool if secure else normal_pool).add_worker(vm, port)
+            self.pools[(entry.platform, True)] = secure_pool
+            self.pools[(entry.platform, False)] = normal_pool
+
+    # -- uploads ---------------------------------------------------------
+
+    def upload(self, function_name: str,
+               languages: tuple[str, ...] | None = None) -> None:
+        """Upload a built-in workload to the function database."""
+        self.store.upload_builtin(function_name, languages)
+
+    def upload_custom(self, workload,
+                      languages: tuple[str, ...] | None = None) -> None:
+        """Upload a user-supplied workload object."""
+        self.store.upload_custom(workload, languages)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _pool(self, platform: str, secure: bool) -> TeePool:
+        try:
+            return self.pools[(platform, secure)]
+        except KeyError:
+            raise GatewayError(
+                f"no pool for platform {platform!r} "
+                f"({'secure' if secure else 'normal'})"
+            ) from None
+
+    def invoke(self, request: InvocationRequest) -> list[InvocationRecord]:
+        """Run a request for its configured number of trials."""
+        trials = (request.trials if request.trials is not None
+                  else self.config.default_trials)
+        if trials < 1:
+            raise GatewayError(f"trials must be >= 1, got {trials}")
+
+        if request.language is None:
+            raise GatewayError(
+                "FaaS invocations need a language; classic executables go "
+                "through invoke_native() (the cross-compile-and-submit path)"
+            )
+        stored = self.store.require_language(request.function, request.language)
+        launcher = FunctionLauncher.for_language(request.language)
+        body = launcher.launch(stored.workload, request.args)
+
+        pool = self._pool(request.platform, request.secure)
+        monitor = self.monitors[request.platform]
+        platform = self.hosts[request.platform].platform
+        records = []
+        for trial in range(trials):
+            run = pool.run_resilient(body, name=request.function, trial=trial)
+            report = monitor.collect(run)
+            records.append(InvocationRecord.from_run(
+                run,
+                function=request.function,
+                language=request.language,
+                perf=dict(report.events),
+                transport_ns=self.dispatch_model.round_trip_ns(platform),
+            ))
+        return records
+
+    def invoke_native(self, name: str, fn, platform: str, secure: bool,
+                      trials: int = 1, *fn_args,
+                      **fn_kwargs) -> list[InvocationRecord]:
+        """Run a classic (non-FaaS) workload callable.
+
+        ``fn`` receives the guest kernel; no language runtime is
+        involved (the paper's cross-compiled-executable path).
+        """
+        body = native_launcher(fn, *fn_args, **fn_kwargs)
+        pool = self._pool(platform, secure)
+        monitor = self.monitors[platform]
+        records = []
+        for trial in range(trials):
+            run = pool.run_resilient(body, name=name, trial=trial)
+            report = monitor.collect(run)
+            records.append(InvocationRecord.from_run(
+                run, function=name, language=None, perf=dict(report.events),
+            ))
+        return records
+
+    # -- introspection -----------------------------------------------------------
+
+    def platforms(self) -> list[dict[str, Any]]:
+        """Platform facts (what GET /platforms returns)."""
+        return [
+            {
+                "name": entry.platform,
+                "host": entry.host,
+                "ports": entry.ports(),
+                **vars(self.hosts[entry.platform].platform.info()),
+            }
+            for entry in self.config.entries
+        ]
+
+    def functions(self) -> list[str]:
+        """Uploaded function names."""
+        return self.store.names()

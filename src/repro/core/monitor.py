@@ -1,0 +1,77 @@
+"""Performance monitoring (the ``perf stat`` integration).
+
+§III-B: ConfBench invokes ``perf stat`` when dispatching workloads
+and piggybacks the collected metrics (instructions, cache misses, …)
+onto results.  Inside CCA realms hardware counters are unavailable —
+"one must rely on custom performance tools" — so the monitor degrades
+to a script-based fallback that reports only what software can see
+(wallclock, context switches, page faults), and developers can
+register extra metric scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import MonitorError
+from repro.tee.base import TeePlatform
+from repro.tee.vm import RunResult
+
+#: Counters ``perf stat`` reports on hardware platforms.
+HARDWARE_EVENTS = (
+    "instructions", "cycles", "cache_references", "cache_misses",
+    "branch_instructions", "branch_misses", "context_switches",
+    "page_faults", "vm_transitions", "bounce_buffer_bytes",
+)
+
+#: What a software-only fallback can still observe.
+SOFTWARE_EVENTS = ("context_switches", "page_faults")
+
+
+@dataclass
+class PerfReport:
+    """The metrics piggybacked onto a result."""
+
+    source: str                      # "perf-stat" | "custom-script"
+    events: dict[str, int]
+    wallclock_ns: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class PerfMonitor:
+    """Collects run metrics appropriate to a platform."""
+
+    platform: TeePlatform
+    custom_scripts: dict[str, Callable[[RunResult], float]] = field(
+        default_factory=dict
+    )
+
+    def register_script(self, name: str,
+                        script: Callable[[RunResult], float]) -> None:
+        """Add a custom metric script (the CCA extension point)."""
+        if name in self.custom_scripts:
+            raise MonitorError(f"script {name!r} already registered")
+        self.custom_scripts[name] = script
+
+    def collect(self, result: RunResult) -> PerfReport:
+        """Build the report for one run."""
+        counters = result.counters.as_dict()
+        supports_counters = self.platform.info().supports_perf_counters
+        if supports_counters:
+            events = {key: counters[key] for key in HARDWARE_EVENTS}
+            source = "perf-stat"
+        else:
+            events = {key: counters[key] for key in SOFTWARE_EVENTS}
+            source = "custom-script"
+        extra = {
+            name: script(result)
+            for name, script in self.custom_scripts.items()
+        }
+        return PerfReport(
+            source=source,
+            events=events,
+            wallclock_ns=result.elapsed_ns,
+            extra=extra,
+        )

@@ -1,0 +1,113 @@
+"""TEE pools and load balancing.
+
+§III-A: "the gateway maintains *TEE pools* to load-balance workload
+requests across different types of TEEs.  Cloud provider users would
+adjust the load-balancing policy to their internal needs."  A pool
+holds the workers (VM slots) of one platform kind; the policy picks
+which worker takes the next request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PoolExhaustedError
+from repro.sim.rng import SimRng
+from repro.tee.vm import Vm
+
+
+class LoadBalancingPolicy(enum.Enum):
+    """Worker selection strategies."""
+
+    ROUND_ROBIN = "round-robin"
+    LEAST_LOADED = "least-loaded"
+    RANDOM = "random"
+
+    @classmethod
+    def parse(cls, name: str) -> "LoadBalancingPolicy":
+        for policy in cls:
+            if policy.value == name:
+                return policy
+        known = ", ".join(policy.value for policy in cls)
+        raise ValueError(f"unknown policy {name!r}; known: {known}")
+
+
+@dataclass
+class Worker:
+    """One VM slot in a pool."""
+
+    vm: Vm
+    port: int
+    inflight: int = 0
+    served: int = 0
+
+
+@dataclass
+class TeePool:
+    """The workers of one (platform, secure-flag) combination."""
+
+    platform: str
+    secure: bool
+    policy: LoadBalancingPolicy = LoadBalancingPolicy.ROUND_ROBIN
+    workers: list[Worker] = field(default_factory=list)
+    _cursor: int = 0
+    _rng: SimRng = field(default_factory=lambda: SimRng(0, "pool"))
+
+    def add_worker(self, vm: Vm, port: int) -> Worker:
+        """Register a booted VM as a pool worker."""
+        worker = Worker(vm=vm, port=port)
+        self.workers.append(worker)
+        return worker
+
+    def pick(self) -> Worker:
+        """Select a worker per the active policy."""
+        if not self.workers:
+            raise PoolExhaustedError(
+                f"pool {self.platform}/{'secure' if self.secure else 'normal'} "
+                "has no workers"
+            )
+        if self.policy is LoadBalancingPolicy.ROUND_ROBIN:
+            worker = self.workers[self._cursor % len(self.workers)]
+            self._cursor += 1
+        elif self.policy is LoadBalancingPolicy.LEAST_LOADED:
+            worker = min(self.workers, key=lambda w: (w.inflight, w.served))
+        else:
+            worker = self._rng.choice(self.workers)
+        return worker
+
+    def run_on(self, worker: Worker, workload, name: str, trial: int):
+        """Execute on a specific worker with load tracking."""
+        worker.inflight += 1
+        try:
+            return worker.vm.run(workload, name=name, trial=trial)
+        finally:
+            worker.inflight -= 1
+            worker.served += 1
+
+    def run_resilient(self, workload, name: str, trial: int):
+        """Pick a worker and execute, failing over on dead VMs.
+
+        A worker whose VM has been destroyed (or refuses to run) is
+        evicted from the pool and the request is retried on the next
+        pick — the load-balancing behaviour a cloud operator expects.
+        Raises :class:`PoolExhaustedError` when every worker is dead.
+        """
+        from repro.errors import VmError
+
+        while True:
+            worker = self.pick()
+            try:
+                return self.run_on(worker, workload, name=name, trial=trial)
+            except VmError:
+                self.evict(worker)
+
+    def evict(self, worker: Worker) -> None:
+        """Remove a failed worker from rotation."""
+        try:
+            self.workers.remove(worker)
+        except ValueError:
+            pass   # already evicted by a concurrent path
+
+    def total_served(self) -> int:
+        return sum(worker.served for worker in self.workers)

@@ -1,0 +1,138 @@
+"""socat-equivalent TCP relay.
+
+§III-B: "each host machine relies on socat, a network relay tool, to
+steer traffic to its hosted VMs."  :class:`TcpRelay` is a real
+localhost TCP forwarder built on the standard library: it listens on
+one port and pipes both directions to a destination port, one thread
+pair per connection.  The integration tests drive actual bytes
+through it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import RelayError
+
+_BUFFER = 65536
+
+
+class TcpRelay:
+    """Forward ``listen_port`` -> ``target_port`` on localhost."""
+
+    def __init__(self, listen_port: int, target_port: int,
+                 host: str = "127.0.0.1") -> None:
+        if listen_port == target_port:
+            raise RelayError("relay cannot forward a port to itself")
+        self.listen_port = listen_port
+        self.target_port = target_port
+        self.host = host
+        self._server: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self.connections_handled = 0
+        self.bytes_forwarded = 0
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Bind and start accepting (idempotent errors are loud)."""
+        if self._running:
+            raise RelayError("relay already running")
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind((self.host, self.listen_port))
+        except OSError as exc:
+            server.close()
+            raise RelayError(
+                f"cannot bind relay on port {self.listen_port}: {exc}"
+            ) from exc
+        server.listen(16)
+        server.settimeout(0.2)
+        self._server = server
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"relay-{self.listen_port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener."""
+        self._running = False
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    def __enter__(self) -> "TcpRelay":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- forwarding -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while self._running:
+            try:
+                client, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=self._handle, args=(client,), daemon=True
+            ).start()
+
+    def _handle(self, client: socket.socket) -> None:
+        try:
+            upstream = socket.create_connection(
+                (self.host, self.target_port), timeout=5.0
+            )
+        except OSError:
+            client.close()
+            return
+        with self._lock:
+            self.connections_handled += 1
+        pump_a = threading.Thread(
+            target=self._pump, args=(client, upstream), daemon=True
+        )
+        pump_b = threading.Thread(
+            target=self._pump, args=(upstream, client), daemon=True
+        )
+        pump_a.start()
+        pump_b.start()
+
+    def _pump(self, source: socket.socket, sink: socket.socket) -> None:
+        try:
+            while True:
+                data = source.recv(_BUFFER)
+                if not data:
+                    break
+                sink.sendall(data)
+                with self._lock:
+                    self.bytes_forwarded += len(data)
+        except OSError:
+            pass
+        finally:
+            for sock in (source, sink):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+
+
+def free_port() -> int:
+    """Ask the OS for an unused localhost port."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]

@@ -1,0 +1,135 @@
+"""REST interface over real localhost HTTP.
+
+§III-A: "users can submit workloads to execute via a REST-based
+interface together with the corresponding runtime parameters".  The
+paper's gateway is Rust/Axum; this one is the Python stdlib's
+threading HTTP server, exposing:
+
+- ``GET  /platforms``         — configured execution platforms
+- ``GET  /functions``         — uploaded function names
+- ``POST /functions``         — upload: ``{"name": ..., "languages": [...]}``
+- ``POST /invoke``            — run: ``{"function", "language",
+  "platform", "secure", "args", "trials"}``
+
+Responses are JSON; errors come back as ``{"error": ...}`` with 4xx.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.gateway import Gateway, InvocationRequest
+from repro.errors import ConfBenchError
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one gateway via the server object."""
+
+    server: "RestServer"
+
+    # quiet the default stderr logging
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ConfBenchError(f"bad JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfBenchError("request body must be a JSON object")
+        return payload
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib API
+        gateway = self.server.gateway
+        if self.path == "/platforms":
+            self._send(200, gateway.platforms())
+        elif self.path == "/functions":
+            self._send(200, gateway.functions())
+        elif self.path == "/health":
+            self._send(200, {"status": "ok"})
+        else:
+            self._send(404, {"error": f"no such resource: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib API
+        gateway = self.server.gateway
+        try:
+            payload = self._read_json()
+            if self.path == "/functions":
+                name = payload.get("name")
+                if not name:
+                    raise ConfBenchError("upload needs a 'name'")
+                languages = payload.get("languages")
+                gateway.upload(
+                    name,
+                    tuple(languages) if languages is not None else None,
+                )
+                self._send(201, {"uploaded": name})
+            elif self.path == "/invoke":
+                request = InvocationRequest(
+                    function=payload.get("function", ""),
+                    language=payload.get("language"),
+                    platform=payload.get("platform", "tdx"),
+                    secure=bool(payload.get("secure", True)),
+                    args=payload.get("args", {}),
+                    trials=payload.get("trials"),
+                )
+                if not request.function:
+                    raise ConfBenchError("invoke needs a 'function'")
+                records = gateway.invoke(request)
+                self._send(200, [record.to_dict() for record in records])
+            else:
+                self._send(404, {"error": f"no such resource: {self.path}"})
+        except ConfBenchError as exc:
+            self._send(400, {"error": str(exc)})
+
+
+class RestServer(ThreadingHTTPServer):
+    """A gateway bound to a localhost HTTP port."""
+
+    daemon_threads = True
+
+    def __init__(self, gateway: Gateway, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self.gateway = gateway
+        super().__init__((host, port), _Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> None:
+        """Serve on a daemon thread."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name=f"confbench-rest-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "RestServer":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

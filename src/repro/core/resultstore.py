@@ -1,0 +1,136 @@
+"""Result archive: persist and compare benchmark runs.
+
+The paper releases its datasets alongside the tool; this module is
+the repository side of that workflow — invocation records are saved
+as JSON-lines with run metadata (seed, version, label), reloaded for
+analysis, and two archived runs can be diffed for ratio drift (useful
+for regression-tracking TEE stacks across firmware/kernel updates,
+exactly the before/after comparison §III-B's firmware anecdote needed).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import __version__
+from repro.core.results import InvocationRecord
+from repro.errors import GatewayError
+
+
+@dataclass
+class ArchivedRun:
+    """One saved measurement run."""
+
+    label: str
+    seed: int
+    version: str
+    records: list[InvocationRecord]
+
+    def key_ratios(self) -> dict[tuple[str, str | None, str], float]:
+        """Mean secure/normal ratio per (function, language, platform).
+
+        Only keys with trials on both sides appear.
+        """
+        buckets: dict[tuple, dict[bool, list[float]]] = {}
+        for record in self.records:
+            key = (record.function, record.language, record.platform)
+            buckets.setdefault(key, {True: [], False: []})[
+                record.secure
+            ].append(record.elapsed_ns)
+        ratios = {}
+        for key, sides in buckets.items():
+            if sides[True] and sides[False]:
+                ratios[key] = (
+                    sum(sides[True]) / len(sides[True])
+                ) / (sum(sides[False]) / len(sides[False]))
+        return ratios
+
+
+class ResultStore:
+    """JSON-lines persistence for invocation records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def save(self, label: str, seed: int,
+             records: list[InvocationRecord]) -> None:
+        """Append one run (header line + one line per record)."""
+        if not records:
+            raise GatewayError("refusing to save an empty run")
+        with self.path.open("a", encoding="utf-8") as handle:
+            header = {"kind": "run", "label": label, "seed": seed,
+                      "version": __version__, "records": len(records)}
+            handle.write(json.dumps(header) + "\n")
+            for record in records:
+                handle.write(json.dumps(
+                    {"kind": "record", **record.to_dict()}
+                ) + "\n")
+
+    def load(self) -> list[ArchivedRun]:
+        """All archived runs, in file order."""
+        if not self.path.exists():
+            return []
+        runs: list[ArchivedRun] = []
+        with self.path.open(encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise GatewayError(
+                        f"{self.path}:{line_number}: bad JSON: {exc}"
+                    ) from exc
+                if payload.get("kind") == "run":
+                    runs.append(ArchivedRun(
+                        label=payload["label"],
+                        seed=payload["seed"],
+                        version=payload.get("version", "?"),
+                        records=[],
+                    ))
+                elif payload.get("kind") == "record":
+                    if not runs:
+                        raise GatewayError(
+                            f"{self.path}:{line_number}: record before any run"
+                        )
+                    payload.pop("kind")
+                    runs[-1].records.append(InvocationRecord(**payload))
+                else:
+                    raise GatewayError(
+                        f"{self.path}:{line_number}: unknown kind "
+                        f"{payload.get('kind')!r}"
+                    )
+        return runs
+
+    def run(self, label: str) -> ArchivedRun:
+        """One archived run by label (the last with that label)."""
+        matches = [run for run in self.load() if run.label == label]
+        if not matches:
+            raise GatewayError(f"no archived run labelled {label!r}")
+        return matches[-1]
+
+
+def compare_runs(before: ArchivedRun,
+                 after: ArchivedRun) -> dict[tuple, dict[str, float]]:
+    """Ratio drift between two runs for every shared key.
+
+    Returns ``{key: {"before": r, "after": r, "drift_percent": d}}``.
+    """
+    before_ratios = before.key_ratios()
+    after_ratios = after.key_ratios()
+    shared = set(before_ratios) & set(after_ratios)
+    if not shared:
+        raise GatewayError("the runs share no (function, language, platform)")
+    return {
+        key: {
+            "before": before_ratios[key],
+            "after": after_ratios[key],
+            "drift_percent": (
+                (after_ratios[key] / before_ratios[key]) - 1.0
+            ) * 100.0,
+        }
+        for key in sorted(shared)
+    }

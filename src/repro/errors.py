@@ -1,0 +1,125 @@
+"""Exception hierarchy for the ConfBench reproduction.
+
+Every error raised by the library derives from :class:`ConfBenchError`,
+so callers can catch one base type at the API boundary.  Sub-hierarchies
+mirror the architectural layers described in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+
+class ConfBenchError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ConfBenchError):
+    """Errors from the simulation kernel (clock, ledger, events)."""
+
+
+class ClockError(SimulationError):
+    """Attempted to move a virtual clock backwards or misuse it."""
+
+
+class HardwareError(ConfBenchError):
+    """Errors from the simulated machine substrate."""
+
+
+class GuestOsError(ConfBenchError):
+    """Errors raised by the simulated guest operating system."""
+
+
+class FileSystemError(GuestOsError):
+    """In-memory filesystem errors (missing path, duplicate, etc.)."""
+
+
+class ProcessError(GuestOsError):
+    """Process table errors (bad pid, double wait, fork limits)."""
+
+
+class SyscallError(GuestOsError):
+    """Unknown or malformed syscall invocation."""
+
+
+class TeeError(ConfBenchError):
+    """Errors from TEE platform simulators."""
+
+
+class TeeUnsupportedError(TeeError):
+    """The requested operation is not available on this platform.
+
+    Example: requesting hardware attestation from the simulated CCA
+    platform, which (like the paper's FVP setup) lacks the required
+    hardware support.
+    """
+
+
+class VmError(TeeError):
+    """VM lifecycle errors (not booted, double-destroy, bad state)."""
+
+
+class AttestationError(ConfBenchError):
+    """Attestation protocol failures."""
+
+
+class QuoteVerificationError(AttestationError):
+    """A quote or report failed cryptographic verification."""
+
+
+class CertificateError(AttestationError):
+    """Certificate chain construction or validation failure."""
+
+
+class CrlError(CertificateError):
+    """Certificate revocation list problems (revoked cert, stale CRL)."""
+
+
+class RuntimeModelError(ConfBenchError):
+    """Errors from language-runtime cost models."""
+
+
+class UnknownRuntimeError(RuntimeModelError):
+    """The requested language runtime is not registered."""
+
+
+class WorkloadError(ConfBenchError):
+    """Errors from workload implementations."""
+
+
+class UnknownWorkloadError(WorkloadError):
+    """The requested workload is not present in the registry."""
+
+
+class DbmsError(WorkloadError):
+    """Errors from the mini relational engine."""
+
+
+class SqlSyntaxError(DbmsError):
+    """The SQL tokenizer/parser rejected a statement."""
+
+
+class SqlExecutionError(DbmsError):
+    """A statement failed during planning or execution."""
+
+
+class GatewayError(ConfBenchError):
+    """Errors from the ConfBench gateway."""
+
+
+class NoSuchFunctionError(GatewayError):
+    """Invoked a function that was never uploaded."""
+
+
+class NoSuchPlatformError(GatewayError):
+    """Requested an execution platform not present in the config."""
+
+
+class PoolExhaustedError(GatewayError):
+    """A TEE pool has no VM able to take the request."""
+
+
+class RelayError(ConfBenchError):
+    """Errors from the socat-style TCP relay."""
+
+
+class MonitorError(ConfBenchError):
+    """Errors from the perf-stat style monitoring integration."""

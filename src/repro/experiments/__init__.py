@@ -1,0 +1,36 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes a ``run_*`` function that regenerates the
+artifact's data (with parameters defaulting to the paper's setup) and
+returns a result object with ``render()`` (the text figure) and
+machine-readable accessors the benches assert shapes on.
+
+==========================  ==========================================
+module                       paper artifact
+==========================  ==========================================
+:mod:`fig3_ml`               Fig. 3 — confidential ML percentile stacks
+:mod:`dbms_table`            §IV-C DBMS findings (per-test ratios)
+:mod:`fig4_unixbench`        Fig. 4 — UnixBench ratios
+:mod:`fig5_attestation`      Fig. 5 — attestation attest/check latency
+:mod:`fig6_heatmap`          Fig. 6 — TDX+SEV FaaS heatmaps
+:mod:`fig7_cca_heatmap`      Fig. 7 — CCA FaaS heatmap
+:mod:`fig8_cca_box`          Fig. 8 — CCA box-and-whiskers
+==========================  ==========================================
+"""
+
+from repro.experiments.fig3_ml import Fig3Result, run_fig3
+from repro.experiments.dbms_table import DbmsTableResult, run_dbms_table
+from repro.experiments.fig4_unixbench import Fig4Result, run_fig4
+from repro.experiments.fig5_attestation import Fig5Result, run_fig5
+from repro.experiments.fig6_heatmap import HeatmapResult, run_fig6
+from repro.experiments.fig7_cca_heatmap import run_fig7
+from repro.experiments.fig8_cca_box import Fig8Result, run_fig8
+
+__all__ = [
+    "Fig3Result", "run_fig3",
+    "DbmsTableResult", "run_dbms_table",
+    "Fig4Result", "run_fig4",
+    "Fig5Result", "run_fig5",
+    "HeatmapResult", "run_fig6", "run_fig7",
+    "Fig8Result", "run_fig8",
+]

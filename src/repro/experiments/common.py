@@ -1,0 +1,73 @@
+"""Shared experiment plumbing.
+
+Builders for the secure/normal VM pairs the paper's testbed keeps on
+each host ("in each host we created two VMs: a VM with TEE-backed
+security guarantees and a 'normal' VM"), plus trial runners.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.launcher import FunctionLauncher
+from repro.tee.base import VmConfig
+from repro.tee.registry import platform_by_name
+from repro.tee.vm import Vm
+from repro.workloads.faas.registry import workload_by_name
+
+#: The paper's trial count (§IV-D: "10 independent trials").
+PAPER_TRIALS = 10
+
+#: The TEEs the paper benches.
+HW_TEES = ("tdx", "sev-snp")
+ALL_TEES = ("tdx", "sev-snp", "cca")
+
+
+@dataclass
+class VmPair:
+    """One platform's secure + normal VM pair."""
+
+    platform: str
+    secure_vm: Vm
+    normal_vm: Vm
+
+    def run_both(self, body, name: str, trials: int) -> tuple[list, list]:
+        """Matched trials on both VMs; returns (secure, normal) results."""
+        secure = [self.secure_vm.run(body, name=name, trial=t)
+                  for t in range(trials)]
+        normal = [self.normal_vm.run(body, name=name, trial=t)
+                  for t in range(trials)]
+        return secure, normal
+
+
+def make_pair(platform_name: str, seed: int = 0) -> VmPair:
+    """Build and boot the secure/normal pair for one platform."""
+    platform = platform_by_name(platform_name, seed=seed)
+    secure = platform.create_vm(VmConfig(secure=True))
+    secure.boot()
+    normal = platform.create_vm(VmConfig(secure=False))
+    normal.boot()
+    return VmPair(platform=platform_name, secure_vm=secure, normal_vm=normal)
+
+
+def faas_ratio(pair: VmPair, workload_name: str, language: str,
+               trials: int = PAPER_TRIALS) -> tuple[float, list[float], list[float]]:
+    """Mean-time ratio for one (workload, language) cell.
+
+    Returns ``(ratio, secure_times, normal_times)``.
+    """
+    workload = workload_by_name(workload_name)
+    body = FunctionLauncher.for_language(language).launch(workload)
+    secure, normal = pair.run_both(
+        body, name=f"{workload_name}/{language}", trials=trials
+    )
+    secure_times = [run.elapsed_ns for run in secure]
+    normal_times = [run.elapsed_ns for run in normal]
+    ratio = statistics.fmean(secure_times) / statistics.fmean(normal_times)
+    return ratio, secure_times, normal_times
+
+
+def mean(values) -> float:
+    """Arithmetic mean of an iterable."""
+    return statistics.fmean(values)

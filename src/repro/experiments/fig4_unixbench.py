@@ -1,0 +1,82 @@
+"""Fig. 4 — UnixBench benchmarks.
+
+Single-threaded UnixBench in secure and normal VMs, "normalized as
+ratios" of the index scores.  Shape targets: TDX introduces the least
+overhead, SEV-SNP analogous figures, CCA the most; all larger than
+the ML/DBMS overheads (frequent TDVMCALL/VMEXIT from sleep/wake-ups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import ALL_TEES, make_pair, mean
+from repro.experiments.report import render_ratio_bars, render_table
+from repro.workloads.unixbench import run_unixbench
+
+
+@dataclass
+class Fig4Result:
+    """Index ratios per platform, plus per-test detail."""
+
+    #: platform -> normal_index / secure_index (>1 = secure slower)
+    index_ratios: dict[str, float] = field(default_factory=dict)
+    #: platform -> {test key -> time ratio secure/normal}
+    test_ratios: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: platform -> mean vm transitions per secure run
+    transitions: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        bars = render_ratio_bars(
+            "Fig. 4 — UnixBench: normal/secure aggregate index ratios",
+            self.index_ratios,
+        )
+        platforms = list(self.test_ratios)
+        test_keys = sorted(next(iter(self.test_ratios.values())))
+        rows = [
+            [key, *(f"{self.test_ratios[p][key]:.2f}" for p in platforms)]
+            for key in test_keys
+        ]
+        detail = render_table(
+            "Per-test secure/normal time ratios",
+            ["test", *platforms],
+            rows,
+        )
+        return f"{bars}\n\n{detail}"
+
+
+def run_fig4(
+    seed: int = 0,
+    platforms: tuple[str, ...] = ALL_TEES,
+    trials: int = 5,
+    scale: float = 0.3,
+) -> Fig4Result:
+    """Regenerate Fig. 4."""
+    result = Fig4Result()
+
+    def body(kernel):
+        report = run_unixbench(kernel, scale=scale)
+        return {
+            "index": report.system_index,
+            "tests": {s.key: s.elapsed_ns for s in report.scores},
+        }
+
+    for platform in platforms:
+        pair = make_pair(platform, seed=seed)
+        secure_runs = [pair.secure_vm.run(body, name="unixbench", trial=t)
+                       for t in range(trials)]
+        normal_runs = [pair.normal_vm.run(body, name="unixbench", trial=t)
+                       for t in range(trials)]
+        secure_index = mean(r.output["index"] for r in secure_runs)
+        normal_index = mean(r.output["index"] for r in normal_runs)
+        result.index_ratios[platform] = normal_index / secure_index
+        test_keys = secure_runs[0].output["tests"].keys()
+        result.test_ratios[platform] = {
+            key: (mean(r.output["tests"][key] for r in secure_runs)
+                  / mean(r.output["tests"][key] for r in normal_runs))
+            for key in test_keys
+        }
+        result.transitions[platform] = mean(
+            r.counters.vm_transitions for r in secure_runs
+        )
+    return result

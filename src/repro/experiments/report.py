@@ -1,0 +1,176 @@
+"""Text renderers for the figures.
+
+The paper's plots become terminal-friendly artifacts: shaded-cell
+heatmaps (Figs. 6/7), stacked-percentile tables (Fig. 3), log-scale
+bar charts (Fig. 5), ratio bars (Fig. 4) and box-and-whisker strips
+(Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+#: Shading ramp for heatmap cells, light (good, ratio<=1) to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def shade_for_ratio(ratio: float, low: float = 0.9, high: float = 2.0) -> str:
+    """Map a ratio onto a shading character (darker = worse)."""
+    if ratio != ratio:   # NaN
+        return "?"
+    clipped = min(max(ratio, low), high)
+    position = (clipped - low) / (high - low)
+    index = min(len(_SHADES) - 1, int(position * (len(_SHADES) - 1) + 0.5))
+    return _SHADES[index]
+
+
+def render_heatmap(
+    title: str,
+    rows: Sequence[str],
+    cols: Sequence[str],
+    values: Mapping[tuple[str, str], float],
+    low: float = 0.9,
+    high: float = 2.0,
+) -> str:
+    """A labelled heatmap: rows x cols of ratios with shading.
+
+    Each cell shows the numeric ratio and a shade character; the paper
+    uses darker-blue-is-better, here lighter-is-better.
+    """
+    col_width = max(6, *(len(c) for c in cols)) + 1
+    row_label_width = max(len(r) for r in rows) + 1
+    lines = [title, ""]
+    header = " " * row_label_width + "".join(c.rjust(col_width) for c in cols)
+    lines.append(header)
+    for row in rows:
+        cells = []
+        for col in cols:
+            ratio = values.get((row, col), float("nan"))
+            mark = shade_for_ratio(ratio, low, high)
+            cells.append(f"{ratio:5.2f}{mark}".rjust(col_width))
+        lines.append(row.ljust(row_label_width) + "".join(cells))
+    lines.append("")
+    lines.append(f"(shade ramp '{_SHADES}': light = ratio<={low}, "
+                 f"dark = ratio>={high})")
+    return "\n".join(lines)
+
+
+def render_percentile_stacks(
+    title: str,
+    stacks: Mapping[str, Mapping[str, float]],
+    unit: str = "ms",
+    scale: float = 1e6,
+) -> str:
+    """Fig. 3-style table: one row per series, min/p25/median/p95/max."""
+    keys = ("min", "p25", "median", "p95", "max")
+    label_width = max(len(name) for name in stacks) + 1
+    lines = [title, ""]
+    header = " " * label_width + "".join(k.rjust(10) for k in keys)
+    lines.append(header + f"   ({unit})")
+    for name, stack in stacks.items():
+        row = name.ljust(label_width)
+        row += "".join(f"{stack[k] / scale:10.3f}" for k in keys)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_log_bars(
+    title: str,
+    values: Mapping[str, float],
+    unit: str = "ms",
+    scale: float = 1e6,
+    width: int = 48,
+) -> str:
+    """Fig. 5-style horizontal bars on a log scale."""
+    scaled = {name: value / scale for name, value in values.items()}
+    positives = [v for v in scaled.values() if v > 0]
+    if not positives:
+        return f"{title}\n(no data)"
+    low = math.log10(min(positives)) - 0.2
+    high = math.log10(max(positives)) + 0.2
+    span = max(high - low, 1e-9)
+    label_width = max(len(name) for name in scaled) + 1
+    lines = [title, ""]
+    for name, value in scaled.items():
+        length = 0
+        if value > 0:
+            length = int((math.log10(value) - low) / span * width)
+        bar = "#" * max(1, length)
+        lines.append(f"{name.ljust(label_width)}|{bar.ljust(width)}| "
+                     f"{value:10.3f} {unit}")
+    lines.append(f"{''.ljust(label_width)} (log scale)")
+    return "\n".join(lines)
+
+
+def render_ratio_bars(
+    title: str,
+    ratios: Mapping[str, float],
+    width: int = 40,
+    maximum: float | None = None,
+) -> str:
+    """Fig. 4-style bars: ratio 1.0 marked, bars extend to the ratio."""
+    cap = maximum if maximum is not None else max(ratios.values()) * 1.1
+    label_width = max(len(name) for name in ratios) + 1
+    lines = [title, ""]
+    for name, ratio in ratios.items():
+        length = int(min(ratio, cap) / cap * width)
+        baseline = int(1.0 / cap * width)
+        bar = "".join(
+            "|" if i == baseline else ("#" if i < length else " ")
+            for i in range(width)
+        )
+        lines.append(f"{name.ljust(label_width)}[{bar}] {ratio:6.2f}x")
+    lines.append(f"{''.ljust(label_width)} '|' marks ratio 1.0 (no overhead)")
+    return "\n".join(lines)
+
+
+def render_box_plots(
+    title: str,
+    summaries: Mapping[str, Mapping[str, float]],
+    unit: str = "ms",
+    scale: float = 1e6,
+    width: int = 50,
+) -> str:
+    """Fig. 8-style box-and-whisker strips (linear scale per figure)."""
+    all_highs = [s["whisker_high"] for s in summaries.values()]
+    all_lows = [s["whisker_low"] for s in summaries.values()]
+    low, high = min(all_lows), max(all_highs)
+    span = max(high - low, 1e-9)
+
+    def column(value: float) -> int:
+        return int((value - low) / span * (width - 1))
+
+    label_width = max(len(name) for name in summaries) + 1
+    lines = [title, ""]
+    for name, s in summaries.items():
+        strip = [" "] * width
+        lo, q1 = column(s["whisker_low"]), column(s["q1"])
+        med, q3 = column(s["median"]), column(s["q3"])
+        hi = column(s["whisker_high"])
+        for i in range(lo, hi + 1):
+            strip[i] = "-"
+        for i in range(q1, q3 + 1):
+            strip[i] = "="
+        strip[lo] = strip[hi] = "|"
+        strip[med] = "O"
+        lines.append(
+            f"{name.ljust(label_width)}[{''.join(strip)}] "
+            f"med {s['median'] / scale:9.3f} {unit}"
+        )
+    lines.append(f"{''.ljust(label_width)} |-: whiskers, =: IQR, O: median")
+    return "\n".join(lines)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """A plain aligned table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Execution context: where operations become virtual nanoseconds.
+
+An :class:`ExecContext` binds together a machine, a virtual clock, a
+cost ledger, a random stream, and a :class:`CostProfile`.  Workloads
+and the guest kernel call its ``cpu_execute`` / ``mem_alloc`` /
+``disk_read`` / ... methods; the context prices each operation with
+the machine models, applies the platform's multipliers and fixed
+costs, and charges the ledger while advancing the clock.
+
+:class:`CostProfile` is the single extension point TEE platforms
+implement.  The default :data:`NATIVE_PROFILE` is a passthrough (all
+multipliers 1.0, no transitions), used by the normal — non
+confidential — VM so that secure/normal ratios have a clean baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.machine import Machine
+from repro.sim.clock import VirtualClock
+from repro.sim.ledger import CostCategory, CostLedger
+from repro.sim.rng import SimRng
+
+
+@dataclass
+class CostProfile:
+    """Per-platform cost knobs applied on top of raw hardware costs.
+
+    Parameters
+    ----------
+    name:
+        Platform name (``novm``, ``tdx``, ``sev-snp``, ``cca``).
+    cpu_multiplier, mem_alloc_multiplier, mem_access_multiplier,
+    io_read_multiplier, io_write_multiplier, syscall_multiplier:
+        Scale factors on the respective raw costs.
+    mem_encrypted / mem_integrity:
+        Whether the platform's inline memory protection applies.
+    syscall_transition_ns:
+        Fixed world-switch cost added to *every* syscall.  Zero on
+        TDX/SEV-SNP (regular syscalls stay inside the guest); nonzero
+        on CCA where the simulated stage-2 handling intrudes.
+    halt_transition_ns:
+        World-switch cost of one blocking context switch (the idle
+        HLT exit plus the wake-up: TDVMCALL on TDX, VMEXIT/VMRUN on
+        SNP, RMM exits on CCA).  This is the mechanism the paper (and
+        Misono et al.) blame for UnixBench's outsized overheads.
+    io_transition_ns:
+        World-switch cost charged per disk operation (the virtio
+        doorbell kick leaves the guest).
+    io_bounce_per_byte_ns:
+        Per-byte bounce-buffer copy cost on I/O (TDX routes DMA
+        through shared memory outside the protected space).
+    cache_hit_bonus_probability / cache_hit_bonus:
+        With the given probability per run, the secure VM sees a
+        *better* cache hit rate by ``cache_hit_bonus`` — reproducing
+        the paper's sub-1.0 heatmap cells (§IV-D, TDXdown effect).
+    noise_sigma:
+        Lognormal sigma of the per-run multiplicative noise.
+    startup_ns:
+        VM-side bootstrap cost (charged to STARTUP; excluded from
+        the paper's ratio measurements).
+    simulator_multiplier:
+        Uniform extra factor modelling a software simulation layer
+        (only the FVP-based CCA platform sets this above 1.0).
+    """
+
+    name: str = "native"
+    cpu_multiplier: float = 1.0
+    mem_alloc_multiplier: float = 1.0
+    mem_access_multiplier: float = 1.0
+    io_read_multiplier: float = 1.0
+    io_write_multiplier: float = 1.0
+    syscall_multiplier: float = 1.0
+    mem_encrypted: bool = False
+    mem_integrity: bool = False
+    mem_miss_extra_ns: float = 0.0   # per cache-line fill: decrypt + MAC/RMP check
+    syscall_transition_ns: float = 0.0
+    halt_transition_ns: float = 0.0
+    io_transition_ns: float = 0.0
+    io_bounce_per_byte_ns: float = 0.0
+    cache_hit_bonus_probability: float = 0.0
+    cache_hit_bonus: float = 0.0
+    noise_sigma: float = 0.015
+    startup_ns: float = 0.0
+    simulator_multiplier: float = 1.0
+
+
+NATIVE_PROFILE = CostProfile()
+
+
+@dataclass
+class ExecContext:
+    """Binds machine + clock + ledger + rng + platform profile.
+
+    One context corresponds to one run of one workload inside one VM.
+    The per-run noise factor and the (possibly bonus-adjusted) cache
+    hit behaviour are drawn once at construction, so a whole run is
+    coherently "lucky" or "unlucky", matching how real trials behave.
+    """
+
+    machine: Machine
+    profile: CostProfile = field(default_factory=CostProfile)
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    ledger: CostLedger = field(default_factory=CostLedger)
+    rng: SimRng = field(default_factory=lambda: SimRng(0))
+    #: optional observer called after every charge with (context,
+    #: category, charged_ns) — the continuous-monitoring hook
+    on_charge: "object | None" = None
+
+    def __post_init__(self) -> None:
+        self._run_noise = self.rng.lognormal_factor(self.profile.noise_sigma)
+        self._op_noise_sigma = self.profile.noise_sigma * 0.6
+        self._cache_bonus = (
+            self.profile.cache_hit_bonus
+            if self.rng.bernoulli(self.profile.cache_hit_bonus_probability)
+            else 0.0
+        )
+
+    # -- internal ----------------------------------------------------
+
+    def charge(self, category: CostCategory, nanos: float) -> float:
+        """Scale ``nanos`` by simulator + noise factors, record, advance.
+
+        Two noise terms model real measurement behaviour: a per-run
+        factor (a whole trial lands "fast" or "slow" coherently) and a
+        smaller per-operation factor (variation *within* a run, which
+        gives Fig. 3's per-image percentile spread).
+
+        Returns the charged (post-noise) nanoseconds.
+        """
+        scaled = nanos * self.profile.simulator_multiplier * self._run_noise
+        if self._op_noise_sigma > 0:
+            scaled *= self.rng.lognormal_factor(self._op_noise_sigma)
+        self.ledger.charge(category, scaled)
+        self.clock.advance(scaled)
+        if self.on_charge is not None:
+            self.on_charge(self, category, scaled)
+        return scaled
+
+    # -- operation pricing --------------------------------------------
+
+    def cpu_execute(
+        self,
+        instructions: int,
+        memory_references: int = 0,
+        working_set_bytes: int = 0,
+    ) -> float:
+        """Execute a compute block; returns charged nanoseconds.
+
+        Compute time takes the CPU multiplier; the memory-reference
+        portion takes the memory-access multiplier plus the per-miss
+        surcharge (inline decryption + integrity check on line fills),
+        so memory-traffic-heavy code — e.g. managed language runtimes —
+        is taxed harder by TEEs than register-bound arithmetic.
+        """
+        cpu = self.machine.cpu
+        hit_rate = None
+        if self._cache_bonus:
+            base = cpu.cache.hit_rate(working_set_bytes)
+            hit_rate = min(1.0, base + self._cache_bonus)
+        compute_ns, memory_ns, misses = cpu.execute_split(
+            instructions,
+            self.machine.counters,
+            memory_references=memory_references,
+            working_set_bytes=working_set_bytes,
+            hit_rate_override=hit_rate,
+        )
+        charged = self.charge(
+            CostCategory.CPU, compute_ns * self.profile.cpu_multiplier
+        )
+        mem_cost = memory_ns * self.profile.mem_access_multiplier
+        if self.profile.mem_encrypted:
+            mem_cost += misses * self.profile.mem_miss_extra_ns
+        if mem_cost > 0:
+            charged += self.charge(CostCategory.MEM_ACCESS, mem_cost)
+        return charged
+
+    def mem_alloc(self, nbytes: int) -> float:
+        """Allocate memory; returns charged nanoseconds."""
+        raw = self.machine.memory.allocate(
+            nbytes,
+            self.machine.counters,
+            encrypted=self.profile.mem_encrypted,
+            integrity=self.profile.mem_integrity,
+        )
+        return self.charge(
+            CostCategory.MEM_ALLOC, raw * self.profile.mem_alloc_multiplier
+        )
+
+    def mem_copy(self, nbytes: int) -> float:
+        """Bulk-copy memory; returns charged nanoseconds."""
+        raw = self.machine.memory.copy(
+            nbytes,
+            self.machine.counters,
+            encrypted=self.profile.mem_encrypted,
+            integrity=self.profile.mem_integrity,
+        )
+        return self.charge(
+            CostCategory.MEM_ACCESS, raw * self.profile.mem_access_multiplier
+        )
+
+    def disk_read(self, nbytes: int) -> float:
+        """Read from the block device, including TEE DMA costs."""
+        raw = self.machine.disk.read(nbytes)
+        charged = self.charge(
+            CostCategory.IO_READ, raw * self.profile.io_read_multiplier
+        )
+        charged += self._bounce(nbytes)
+        charged += self._io_kick()
+        return charged
+
+    def disk_write(self, nbytes: int) -> float:
+        """Write to the block device, including TEE DMA costs."""
+        raw = self.machine.disk.write(nbytes)
+        charged = self.charge(
+            CostCategory.IO_WRITE, raw * self.profile.io_write_multiplier
+        )
+        charged += self._bounce(nbytes)
+        charged += self._io_kick()
+        return charged
+
+    def _io_kick(self) -> float:
+        if self.profile.io_transition_ns <= 0:
+            return 0.0
+        return self.vm_transition(self.profile.io_transition_ns)
+
+    def _bounce(self, nbytes: int) -> float:
+        if self.profile.io_bounce_per_byte_ns <= 0 or nbytes <= 0:
+            return 0.0
+        self.machine.counters.bounce_buffer_bytes += nbytes
+        return self.charge(
+            CostCategory.BOUNCE_BUFFER, nbytes * self.profile.io_bounce_per_byte_ns
+        )
+
+    def syscall_entry(self, base_cost_ns: float) -> float:
+        """Price a syscall: kernel entry cost plus TEE world switches."""
+        charged = self.charge(
+            CostCategory.SYSCALL, base_cost_ns * self.profile.syscall_multiplier
+        )
+        if self.profile.syscall_transition_ns > 0:
+            self.machine.counters.vm_transitions += 1
+            charged += self.charge(
+                CostCategory.VM_TRANSITION, self.profile.syscall_transition_ns
+            )
+        return charged
+
+    def vm_transition(self, cost_ns: float) -> float:
+        """An explicit world switch outside the syscall path."""
+        self.machine.counters.vm_transitions += 1
+        return self.charge(CostCategory.VM_TRANSITION, cost_ns)
+
+    def network_round_trip(self, payload_bytes: int) -> float:
+        """One exchange on the host's NIC path."""
+        raw = self.machine.nic.round_trip(payload_bytes, self.rng)
+        return self.charge(CostCategory.NETWORK, raw)
+
+    def charge_network(self, nanos: float) -> float:
+        """Charge externally priced network time (e.g. a WAN service)."""
+        return self.charge(CostCategory.NETWORK, nanos)
+
+    def crypto(self, nanos: float) -> float:
+        """Charge attestation/crypto work."""
+        return self.charge(CostCategory.CRYPTO, nanos)
+
+    def startup(self, nanos: float) -> float:
+        """Charge bootstrap work (excluded from ratio measurements)."""
+        return self.charge(CostCategory.STARTUP, nanos)
+
+    def elapsed_ns(self, exclude_startup: bool = True) -> float:
+        """Total charged time, optionally net of STARTUP.
+
+        The paper's timing measurements exclude the launcher's runtime
+        bootstrap, so ``exclude_startup`` defaults to True.
+        """
+        if exclude_startup:
+            return self.ledger.total_excluding(CostCategory.STARTUP)
+        return self.ledger.total()

@@ -1,0 +1,236 @@
+"""In-memory hierarchical filesystem.
+
+Purely functional state — path resolution, directories, file bytes —
+with no timing of its own.  Cost accounting happens one layer up, in
+:class:`repro.guestos.kernel.GuestKernel`, which prices the syscalls
+and the block-device traffic they imply.
+
+The FaaS ``filesystem`` workload (create nested folders, write/read a
+1 MB file, clean up) and UnixBench's file-copy tests run on top of
+this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FileSystemError
+
+
+def _split(path: str) -> list[str]:
+    """Normalise an absolute path into components."""
+    if not path.startswith("/"):
+        raise FileSystemError(f"path must be absolute: {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+@dataclass
+class FileNode:
+    """A regular file: a mutable byte buffer."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class DirNode:
+    """A directory mapping names to child nodes."""
+
+    name: str
+    children: dict[str, "DirNode | FileNode"] = field(default_factory=dict)
+
+
+class InMemoryFileSystem:
+    """A POSIX-flavoured in-memory filesystem.
+
+    All paths are absolute.  Operations raise
+    :class:`~repro.errors.FileSystemError` on missing parents,
+    duplicate creations, type confusion, and out-of-range reads.
+    """
+
+    def __init__(self) -> None:
+        self.root = DirNode(name="/")
+
+    # -- resolution ----------------------------------------------------
+
+    def _resolve_dir(self, parts: list[str]) -> DirNode:
+        node: DirNode | FileNode = self.root
+        walked = "/"
+        for part in parts:
+            if not isinstance(node, DirNode):
+                raise FileSystemError(f"not a directory: {walked}")
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise FileSystemError(f"no such path: {walked.rstrip('/')}/{part}") from None
+            walked = f"{walked.rstrip('/')}/{part}"
+        if not isinstance(node, DirNode):
+            raise FileSystemError(f"not a directory: {walked}")
+        return node
+
+    def _resolve_file(self, path: str) -> FileNode:
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("root is not a file")
+        parent = self._resolve_dir(parts[:-1])
+        try:
+            node = parent.children[parts[-1]]
+        except KeyError:
+            raise FileSystemError(f"no such file: {path}") from None
+        if not isinstance(node, FileNode):
+            raise FileSystemError(f"is a directory: {path}")
+        return node
+
+    # -- queries -------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """True if the path resolves to a file or directory."""
+        parts = _split(path)
+        node: DirNode | FileNode = self.root
+        for part in parts:
+            if not isinstance(node, DirNode) or part not in node.children:
+                return False
+            node = node.children[part]
+        return True
+
+    def is_dir(self, path: str) -> bool:
+        """True if the path resolves to a directory."""
+        try:
+            self._resolve_dir(_split(path))
+            return True
+        except FileSystemError:
+            return False
+
+    def listdir(self, path: str) -> list[str]:
+        """Sorted child names of a directory."""
+        return sorted(self._resolve_dir(_split(path)).children)
+
+    def file_size(self, path: str) -> int:
+        """Size in bytes of a regular file."""
+        return self._resolve_file(path).size
+
+    def total_files(self) -> int:
+        """Count of regular files in the whole tree."""
+        def count(node: DirNode) -> int:
+            total = 0
+            for child in node.children.values():
+                if isinstance(child, FileNode):
+                    total += 1
+                else:
+                    total += count(child)
+            return total
+        return count(self.root)
+
+    # -- mutations -----------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory; the parent must exist."""
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("cannot create root")
+        parent = self._resolve_dir(parts[:-1])
+        name = parts[-1]
+        if name in parent.children:
+            raise FileSystemError(f"path exists: {path}")
+        parent.children[name] = DirNode(name=name)
+
+    def makedirs(self, path: str) -> None:
+        """Create a directory and any missing ancestors (idempotent)."""
+        parts = _split(path)
+        node = self.root
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                child = DirNode(name=part)
+                node.children[part] = child
+            elif not isinstance(child, DirNode):
+                raise FileSystemError(f"not a directory: {part} in {path}")
+            node = child
+
+    def create(self, path: str) -> None:
+        """Create an empty regular file; the parent must exist."""
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("cannot create root as a file")
+        parent = self._resolve_dir(parts[:-1])
+        name = parts[-1]
+        if name in parent.children:
+            raise FileSystemError(f"path exists: {path}")
+        parent.children[name] = FileNode(name=name)
+
+    def write(self, path: str, data: bytes, offset: int | None = None) -> int:
+        """Write ``data`` at ``offset`` (append when ``None``).
+
+        Returns the number of bytes written.  The file must exist.
+        """
+        node = self._resolve_file(path)
+        if offset is None:
+            node.data.extend(data)
+        else:
+            if offset < 0 or offset > len(node.data):
+                raise FileSystemError(
+                    f"offset {offset} out of range for {path} (size {len(node.data)})"
+                )
+            end = offset + len(data)
+            if end > len(node.data):
+                node.data.extend(b"\0" * (end - len(node.data)))
+            node.data[offset:end] = data
+        return len(data)
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        """Read ``length`` bytes from ``offset`` (to EOF when ``None``)."""
+        node = self._resolve_file(path)
+        if offset < 0 or offset > len(node.data):
+            raise FileSystemError(
+                f"offset {offset} out of range for {path} (size {len(node.data)})"
+            )
+        if length is None:
+            return bytes(node.data[offset:])
+        if length < 0:
+            raise FileSystemError(f"negative read length: {length}")
+        return bytes(node.data[offset:offset + length])
+
+    def truncate(self, path: str, size: int = 0) -> None:
+        """Resize a file (zero-filled growth)."""
+        node = self._resolve_file(path)
+        if size < 0:
+            raise FileSystemError(f"negative truncate size: {size}")
+        if size <= len(node.data):
+            del node.data[size:]
+        else:
+            node.data.extend(b"\0" * (size - len(node.data)))
+
+    def unlink(self, path: str) -> int:
+        """Delete a regular file; returns its former size."""
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("cannot unlink root")
+        parent = self._resolve_dir(parts[:-1])
+        name = parts[-1]
+        node = parent.children.get(name)
+        if node is None:
+            raise FileSystemError(f"no such file: {path}")
+        if isinstance(node, DirNode):
+            raise FileSystemError(f"is a directory: {path}")
+        del parent.children[name]
+        return node.size
+
+    def rmdir(self, path: str) -> None:
+        """Delete an *empty* directory."""
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("cannot remove root")
+        parent = self._resolve_dir(parts[:-1])
+        name = parts[-1]
+        node = parent.children.get(name)
+        if node is None:
+            raise FileSystemError(f"no such directory: {path}")
+        if not isinstance(node, DirNode):
+            raise FileSystemError(f"not a directory: {path}")
+        if node.children:
+            raise FileSystemError(f"directory not empty: {path}")
+        del parent.children[name]

@@ -1,0 +1,205 @@
+"""The guest kernel: syscall dispatch with cost accounting.
+
+``GuestKernel`` is the facade workloads talk to.  Every syscall:
+
+1. charges the native base cost times the platform's syscall
+   multiplier (kernel entry/exit),
+2. charges the platform's world-switch cost (TDCALL/SEAMCALL on TDX,
+   VMEXIT/VMRUN on SEV-SNP, RMM calls on CCA) when one applies,
+3. performs the functional operation (filesystem mutation, process
+   table update, pipe transfer), and
+4. charges data-dependent hardware costs (disk traffic, memory copies,
+   bounce buffers) through the :class:`~repro.guestos.context.ExecContext`.
+
+Context switches deserve a note: blocking pipe reads/writes sleep and
+wake processes, and on confidential VMs each sleep/wake is a world
+switch.  That mechanism — frequent transitions rather than raw compute
+slowdown — is why UnixBench shows the largest overheads in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuestOsError
+from repro.guestos.context import ExecContext
+from repro.guestos.filesystem import InMemoryFileSystem
+from repro.guestos.pipes import Pipe
+from repro.guestos.process import Process, ProcessTable
+from repro.guestos.scheduler import CONTEXT_SWITCH_NS, RoundRobinScheduler
+from repro.guestos.syscalls import SyscallKind, base_cost_ns
+
+
+class GuestKernel:
+    """A guest OS instance bound to one execution context."""
+
+    def __init__(self, ctx: ExecContext) -> None:
+        self.ctx = ctx
+        self.fs = InMemoryFileSystem()
+        self.processes = ProcessTable()
+        self.scheduler = RoundRobinScheduler(self.processes)
+        self.syscall_count = 0
+
+    # -- plumbing ------------------------------------------------------
+
+    def _enter(self, kind: SyscallKind) -> None:
+        """Charge the cost of entering the kernel for ``kind``."""
+        self.syscall_count += 1
+        self.ctx.syscall_entry(base_cost_ns(kind))
+
+    # -- trivial syscalls ------------------------------------------------
+
+    def sys_getpid(self) -> int:
+        """Current pid (per the scheduler)."""
+        self._enter(SyscallKind.GETPID)
+        return self.scheduler.current_pid
+
+    def sys_clock_gettime(self) -> float:
+        """Virtual time in nanoseconds (vDSO-priced)."""
+        self._enter(SyscallKind.CLOCK_GETTIME)
+        return self.ctx.clock.now()
+
+    def sys_brk(self, nbytes: int) -> None:
+        """Grow the heap by ``nbytes``."""
+        self._enter(SyscallKind.BRK)
+        self.ctx.mem_alloc(nbytes)
+
+    # -- filesystem syscalls ---------------------------------------------
+
+    def sys_create(self, path: str) -> None:
+        """Create an empty file."""
+        self._enter(SyscallKind.CREATE)
+        self.fs.create(path)
+        self.ctx.disk_write(4096)  # inode + dirent journal
+
+    def sys_mkdir(self, path: str) -> None:
+        """Create a directory."""
+        self._enter(SyscallKind.MKDIR)
+        self.fs.mkdir(path)
+        self.ctx.disk_write(4096)
+
+    def sys_write(self, path: str, data: bytes, offset: int | None = None) -> int:
+        """Write file data (append when ``offset`` is None)."""
+        self._enter(SyscallKind.WRITE)
+        written = self.fs.write(path, data, offset)
+        self.ctx.mem_copy(written)     # user -> page cache
+        self.ctx.disk_write(written)   # writeback
+        return written
+
+    def sys_read(self, path: str, offset: int = 0,
+                 length: int | None = None, cached: bool = False) -> bytes:
+        """Read file data.
+
+        ``cached=True`` models a page-cache hit (recently written or
+        read data): the copy to user space still happens, but no block
+        I/O is issued — so no virtio exit and no bounce buffering.
+        """
+        self._enter(SyscallKind.READ)
+        data = self.fs.read(path, offset, length)
+        if not cached:
+            self.ctx.disk_read(len(data))
+        self.ctx.mem_copy(len(data))   # page cache -> user
+        return data
+
+    def sys_stat(self, path: str) -> dict[str, int | bool]:
+        """File metadata: existence, type, size."""
+        self._enter(SyscallKind.STAT)
+        if not self.fs.exists(path):
+            raise GuestOsError(f"stat: no such path {path}")
+        is_dir = self.fs.is_dir(path)
+        size = 0 if is_dir else self.fs.file_size(path)
+        return {"is_dir": is_dir, "size": size}
+
+    def sys_unlink(self, path: str) -> int:
+        """Delete a file; returns its former size."""
+        self._enter(SyscallKind.UNLINK)
+        size = self.fs.unlink(path)
+        self.ctx.disk_write(4096)
+        return size
+
+    def sys_rmdir(self, path: str) -> None:
+        """Delete an empty directory."""
+        self._enter(SyscallKind.RMDIR)
+        self.fs.rmdir(path)
+        self.ctx.disk_write(4096)
+
+    # -- process syscalls --------------------------------------------------
+
+    def sys_fork(self, name: str | None = None) -> Process:
+        """Fork the current process; returns the child."""
+        self._enter(SyscallKind.FORK)
+        child = self.processes.fork(self.scheduler.current_pid, name)
+        self.ctx.mem_copy(256 * 1024)  # COW page-table setup
+        return child
+
+    def sys_exec(self, pid: int, name: str) -> Process:
+        """Replace a process image."""
+        self._enter(SyscallKind.EXEC)
+        proc = self.processes.exec(pid, name)
+        self.ctx.disk_read(512 * 1024)   # load the new image
+        self.ctx.mem_alloc(1024 * 1024)  # fresh address space
+        return proc
+
+    def sys_exit(self, pid: int, code: int = 0) -> None:
+        """Terminate a process."""
+        self._enter(SyscallKind.EXIT)
+        self.processes.exit(pid, code)
+
+    def sys_wait(self, parent_pid: int | None = None) -> tuple[int, int]:
+        """Reap one zombie child of the caller."""
+        self._enter(SyscallKind.WAIT)
+        pid = parent_pid if parent_pid is not None else self.scheduler.current_pid
+        return self.processes.wait(pid)
+
+    def sys_yield(self) -> int:
+        """Round-robin to the next runnable process."""
+        self._enter(SyscallKind.SCHED_YIELD)
+        return self.scheduler.next()
+
+    # -- pipes and context switches ----------------------------------------
+
+    def make_pipe(self, capacity: int = Pipe.DEFAULT_CAPACITY) -> Pipe:
+        """Create a pipe (no syscall cost: bundled with first use)."""
+        return Pipe(capacity)
+
+    def sys_pipe_write(self, pipe: Pipe, data: bytes) -> int:
+        """Write to a pipe; returns bytes accepted."""
+        self._enter(SyscallKind.PIPE_WRITE)
+        accepted = pipe.write(data)
+        self.ctx.mem_copy(accepted)
+        return accepted
+
+    def sys_pipe_read(self, pipe: Pipe, length: int) -> bytes:
+        """Read from a pipe."""
+        self._enter(SyscallKind.PIPE_READ)
+        data = pipe.read(length)
+        self.ctx.mem_copy(len(data))
+        return data
+
+    def context_switch(self) -> None:
+        """One blocking context switch (sleep current, wake peer).
+
+        On confidential VMs the halt/wake pair forces a world switch
+        in addition to the native switch cost.
+        """
+        self.scheduler.switch_count += 1
+        self.ctx.machine.counters.context_switches += 1
+        self.ctx.syscall_entry(CONTEXT_SWITCH_NS)
+        if self.ctx.profile.halt_transition_ns > 0:
+            self.ctx.vm_transition(self.ctx.profile.halt_transition_ns)
+
+    def pipe_ping_pong(self, rounds: int, payload: int = 512) -> int:
+        """UnixBench-style token bounce between two processes.
+
+        Each round is a write, a context switch, a read, and a context
+        switch back.  Returns total bytes moved.
+        """
+        if rounds < 0:
+            raise GuestOsError(f"negative rounds: {rounds}")
+        pipe = self.make_pipe()
+        token = b"x" * payload
+        moved = 0
+        for _ in range(rounds):
+            self.sys_pipe_write(pipe, token)
+            self.context_switch()
+            moved += len(self.sys_pipe_read(pipe, payload))
+            self.context_switch()
+        return moved

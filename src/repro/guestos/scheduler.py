@@ -1,0 +1,64 @@
+"""Round-robin scheduler with context-switch accounting.
+
+UnixBench's "pipe-based context switching" test bounces a token
+between two processes; every hop is a context switch.  On confidential
+VMs each switch's sleep/wake shows up as a world transition, which is
+the mechanism recent work (and the paper, §IV-C) blames for UnixBench
+being the most TEE-hostile suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProcessError
+from repro.guestos.process import ProcessState, ProcessTable
+
+CONTEXT_SWITCH_NS = 1_600.0  # direct cost of one native context switch
+
+
+class RoundRobinScheduler:
+    """Cycles through runnable processes in pid order."""
+
+    def __init__(self, table: ProcessTable) -> None:
+        self.table = table
+        self.current_pid = 1
+        self.switch_count = 0
+
+    def runnable_pids(self) -> list[int]:
+        """Pids in RUNNING state, ascending."""
+        return sorted(
+            proc.pid
+            for proc in self.table._table.values()  # noqa: SLF001 - scheduler is a kernel friend
+            if proc.state is ProcessState.RUNNING
+        )
+
+    def switch_to(self, pid: int) -> bool:
+        """Switch to a specific runnable process.
+
+        Returns True if an actual switch happened (False when already
+        current).  Raises if the target is not runnable.
+        """
+        proc = self.table.get(pid)
+        if proc.state is not ProcessState.RUNNING:
+            raise ProcessError(f"pid {pid} is {proc.state.value}, not runnable")
+        if pid == self.current_pid:
+            return False
+        self.current_pid = pid
+        self.switch_count += 1
+        return True
+
+    def next(self) -> int:
+        """Advance to the next runnable process (round robin).
+
+        Returns the new current pid.  With a single runnable process
+        this is a no-op yield.
+        """
+        pids = self.runnable_pids()
+        if not pids:
+            raise ProcessError("no runnable processes")
+        if self.current_pid not in pids:
+            target = pids[0]
+        else:
+            index = pids.index(self.current_pid)
+            target = pids[(index + 1) % len(pids)]
+        self.switch_to(target)
+        return self.current_pid

@@ -1,0 +1,35 @@
+"""Simulated machine substrate.
+
+Models the hardware the paper's testbed provides: CPUs with a cache
+hierarchy and performance counters, memory with an inline encryption
+engine, block storage, and a NIC.  All models are cost models: they
+translate abstract operations (instructions, bytes moved) into virtual
+nanoseconds and performance-counter increments.
+
+Factory helpers build machines shaped like the paper's hosts:
+
+- :func:`repro.hw.machine.xeon_gold_5515` — the 8-core Intel TDX host.
+- :func:`repro.hw.machine.epyc_9124` — the 16-core AMD SEV-SNP host.
+- :func:`repro.hw.machine.fvp_model` — the ARM FVP simulated platform.
+"""
+
+from repro.hw.perfcounters import PerfCounters
+from repro.hw.cpu import CacheModel, CpuModel
+from repro.hw.memory import MemoryModel
+from repro.hw.disk import DiskModel
+from repro.hw.nic import NicModel
+from repro.hw.machine import Machine, MachineSpec, xeon_gold_5515, epyc_9124, fvp_model
+
+__all__ = [
+    "PerfCounters",
+    "CacheModel",
+    "CpuModel",
+    "MemoryModel",
+    "DiskModel",
+    "NicModel",
+    "Machine",
+    "MachineSpec",
+    "xeon_gold_5515",
+    "epyc_9124",
+    "fvp_model",
+]

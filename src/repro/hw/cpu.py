@@ -1,0 +1,170 @@
+"""CPU and cache cost models.
+
+The CPU model converts abstract instruction counts into virtual
+nanoseconds using frequency and an instructions-per-cycle figure, with
+a last-level-cache model supplying miss penalties.  The cache model is
+deliberately simple — a working-set-derived hit rate — but it is enough
+to reproduce the paper's observation that secure VMs sometimes see
+*more* cache hits than normal VMs (TDXdown-style caching variations),
+which makes a few heatmap cells dip below 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hw.perfcounters import PerfCounters
+
+
+@dataclass
+class CacheModel:
+    """Last-level cache behaviour.
+
+    Parameters
+    ----------
+    size_bytes:
+        LLC capacity.
+    hit_latency_ns:
+        Latency of a hit.
+    miss_penalty_ns:
+        Extra latency of a miss (DRAM access).
+    base_hit_rate:
+        Hit rate when the working set fits in cache.
+    """
+
+    size_bytes: int = 32 * 1024 * 1024
+    hit_latency_ns: float = 0.25
+    miss_penalty_ns: float = 65.0
+    base_hit_rate: float = 0.995
+
+    def hit_rate(self, working_set_bytes: int) -> float:
+        """Effective hit rate for a given working set size.
+
+        Once the working set exceeds capacity the hit rate decays
+        smoothly toward a floor — a classic cache-occupancy curve.
+        """
+        if working_set_bytes <= 0:
+            return self.base_hit_rate
+        pressure = working_set_bytes / self.size_bytes
+        if pressure <= 1.0:
+            return self.base_hit_rate
+        floor = 0.35
+        decayed = self.base_hit_rate * math.exp(-(pressure - 1.0) / 4.0)
+        return max(floor, decayed)
+
+    def access_cost_ns(self, references: int, hit_rate: float) -> float:
+        """Total latency for ``references`` accesses at ``hit_rate``."""
+        if references < 0:
+            raise HardwareError(f"negative cache references: {references}")
+        hits = references * hit_rate
+        misses = references - hits
+        return hits * self.hit_latency_ns + misses * (
+            self.hit_latency_ns + self.miss_penalty_ns
+        )
+
+
+@dataclass
+class CpuModel:
+    """A core's execution cost model.
+
+    Parameters
+    ----------
+    frequency_ghz:
+        Clock frequency; one cycle takes ``1 / frequency_ghz`` ns.
+    base_ipc:
+        Sustained instructions per cycle when not memory bound.
+    cache:
+        The LLC model used for memory-reference latency.
+    branch_fraction:
+        Fraction of instructions that are branches.
+    branch_miss_rate:
+        Mispredict rate among branches.
+    """
+
+    frequency_ghz: float = 3.0
+    base_ipc: float = 2.2
+    cache: CacheModel | None = None
+    branch_fraction: float = 0.12
+    branch_miss_rate: float = 0.015
+    branch_miss_penalty_cycles: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise HardwareError(f"frequency must be positive: {self.frequency_ghz}")
+        if self.base_ipc <= 0:
+            raise HardwareError(f"IPC must be positive: {self.base_ipc}")
+        if self.cache is None:
+            self.cache = CacheModel()
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one cycle in nanoseconds."""
+        return 1.0 / self.frequency_ghz
+
+    def execute_split(
+        self,
+        instructions: int,
+        counters: PerfCounters,
+        memory_references: int = 0,
+        working_set_bytes: int = 0,
+        hit_rate_override: float | None = None,
+    ) -> tuple[float, float, int]:
+        """Cost of executing ``instructions`` with the given memory mix.
+
+        Updates ``counters`` (instructions, cycles, cache stats, branch
+        stats) and returns ``(compute_ns, memory_ns, cache_misses)`` so
+        the TEE layer can tax compute and memory traffic differently
+        (memory encryption/integrity applies to cache-line fills, not
+        to register arithmetic).
+
+        ``hit_rate_override`` lets the TEE layer perturb caching
+        behaviour (secure VMs can exhibit *different* — occasionally
+        better — cache locality, per the paper §IV-D).
+        """
+        if instructions < 0:
+            raise HardwareError(f"negative instruction count: {instructions}")
+        if memory_references < 0:
+            raise HardwareError(f"negative memory references: {memory_references}")
+
+        compute_cycles = instructions / self.base_ipc
+        branches = int(instructions * self.branch_fraction)
+        branch_misses = int(branches * self.branch_miss_rate)
+        compute_cycles += branch_misses * self.branch_miss_penalty_cycles
+        compute_ns = compute_cycles * self.cycle_ns
+
+        hit_rate = (
+            hit_rate_override
+            if hit_rate_override is not None
+            else self.cache.hit_rate(working_set_bytes)
+        )
+        hit_rate = min(1.0, max(0.0, hit_rate))
+        memory_ns = self.cache.access_cost_ns(memory_references, hit_rate)
+        misses = int(memory_references * (1.0 - hit_rate))
+
+        counters.instructions += instructions
+        counters.cycles += int((compute_ns + memory_ns) / self.cycle_ns)
+        counters.branch_instructions += branches
+        counters.branch_misses += branch_misses
+        counters.cache_references += memory_references
+        counters.cache_misses += misses
+        return compute_ns, memory_ns, misses
+
+    def execute(
+        self,
+        instructions: int,
+        counters: PerfCounters,
+        memory_references: int = 0,
+        working_set_bytes: int = 0,
+        hit_rate_override: float | None = None,
+    ) -> float:
+        """Total cost of an execution block (see :meth:`execute_split`)."""
+        compute_ns, memory_ns, _ = self.execute_split(
+            instructions,
+            counters,
+            memory_references=memory_references,
+            working_set_bytes=working_set_bytes,
+            hit_rate_override=hit_rate_override,
+        )
+        return compute_ns + memory_ns

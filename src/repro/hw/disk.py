@@ -1,0 +1,50 @@
+"""Block-device cost model.
+
+A simple NVMe-like device: fixed per-operation latency plus a
+bandwidth term.  The TEE layer wraps this — TDX routes DMA through
+bounce buffers in shared memory (extra copies), which is the paper's
+explanation for TDX's iostress penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass
+class DiskModel:
+    """Cost model for block reads/writes.
+
+    Parameters
+    ----------
+    read_latency_us / write_latency_us:
+        Per-operation fixed latency in microseconds.
+    read_bandwidth_mbps / write_bandwidth_mbps:
+        Streaming bandwidth in MiB/s.
+    """
+
+    read_latency_us: float = 80.0
+    write_latency_us: float = 25.0
+    read_bandwidth_mbps: float = 3200.0
+    write_bandwidth_mbps: float = 2400.0
+
+    def __post_init__(self) -> None:
+        for name in ("read_bandwidth_mbps", "write_bandwidth_mbps"):
+            if getattr(self, name) <= 0:
+                raise HardwareError(f"{name} must be positive")
+
+    def read(self, nbytes: int) -> float:
+        """Virtual nanoseconds to read ``nbytes``."""
+        if nbytes < 0:
+            raise HardwareError(f"negative read size: {nbytes}")
+        bytes_per_ns = self.read_bandwidth_mbps * (1024 ** 2) / 1e9
+        return self.read_latency_us * 1_000 + nbytes / bytes_per_ns
+
+    def write(self, nbytes: int) -> float:
+        """Virtual nanoseconds to write ``nbytes``."""
+        if nbytes < 0:
+            raise HardwareError(f"negative write size: {nbytes}")
+        bytes_per_ns = self.write_bandwidth_mbps * (1024 ** 2) / 1e9
+        return self.write_latency_us * 1_000 + nbytes / bytes_per_ns

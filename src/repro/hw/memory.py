@@ -1,0 +1,90 @@
+"""Memory subsystem cost model.
+
+Models allocation and bulk-copy costs plus an inline memory-encryption
+engine.  Second-generation TEEs (TDX, SEV-SNP) encrypt VM memory with a
+hardware engine whose cost is small but nonzero; integrity protection
+(TDX's MAC tree, SNP's RMP checks) adds a little more on writes.  The
+TEE layer decides *whether* encryption/integrity apply; this model
+decides *how much* they cost per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hw.perfcounters import PerfCounters
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class MemoryModel:
+    """Cost model for DRAM traffic and page management.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Sustained copy bandwidth in GiB/s.
+    alloc_page_ns:
+        Cost of making one new page available (zeroing + bookkeeping).
+    encryption_overhead_per_byte_ns:
+        Extra cost per byte when the inline AES engine is active.
+    integrity_overhead_per_byte_ns:
+        Extra cost per written byte when integrity protection is active.
+    """
+
+    bandwidth_gbps: float = 20.0
+    alloc_page_ns: float = 220.0
+    encryption_overhead_per_byte_ns: float = 0.004
+    integrity_overhead_per_byte_ns: float = 0.008
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise HardwareError(f"bandwidth must be positive: {self.bandwidth_gbps}")
+
+    def _copy_ns(self, nbytes: int) -> float:
+        bytes_per_ns = self.bandwidth_gbps * (1024 ** 3) / 1e9
+        return nbytes / bytes_per_ns
+
+    def allocate(
+        self,
+        nbytes: int,
+        counters: PerfCounters,
+        encrypted: bool = False,
+        integrity: bool = False,
+    ) -> float:
+        """Cost of allocating (and faulting in) ``nbytes``.
+
+        Touching fresh pages causes page faults; encrypted VMs pay the
+        engine cost on the implicit zeroing writes; integrity-protected
+        VMs additionally pay MAC/RMP maintenance.
+        """
+        if nbytes < 0:
+            raise HardwareError(f"negative allocation: {nbytes}")
+        pages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        cost = pages * self.alloc_page_ns
+        if encrypted:
+            cost += nbytes * self.encryption_overhead_per_byte_ns
+        if integrity:
+            cost += nbytes * self.integrity_overhead_per_byte_ns
+        counters.page_faults += pages
+        return cost
+
+    def copy(
+        self,
+        nbytes: int,
+        counters: PerfCounters,
+        encrypted: bool = False,
+        integrity: bool = False,
+    ) -> float:
+        """Cost of a bulk copy of ``nbytes`` (memcpy-style)."""
+        if nbytes < 0:
+            raise HardwareError(f"negative copy size: {nbytes}")
+        cost = self._copy_ns(nbytes)
+        if encrypted:
+            cost += nbytes * self.encryption_overhead_per_byte_ns
+        if integrity:
+            cost += nbytes * self.integrity_overhead_per_byte_ns
+        counters.cache_references += nbytes // 64
+        return cost

@@ -1,0 +1,60 @@
+"""Network interface cost model.
+
+Used for simulated off-box traffic: the gateway↔host hop and —
+importantly for the attestation experiment — the TDX verifier's
+round-trips to the Intel Provisioning Certification Service (PCS) to
+fetch TCB info and CRLs, which dominate the TDX "check" latency in the
+paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.sim.rng import SimRng
+
+
+@dataclass
+class NicModel:
+    """Latency + bandwidth model for one network path.
+
+    Parameters
+    ----------
+    rtt_ms:
+        Round-trip time of the path in milliseconds.
+    bandwidth_mbps:
+        Path bandwidth in MiB/s.
+    jitter_sigma:
+        Lognormal sigma applied to each transfer's latency.
+    """
+
+    rtt_ms: float = 0.2
+    bandwidth_mbps: float = 1200.0
+    jitter_sigma: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise HardwareError(f"negative RTT: {self.rtt_ms}")
+        if self.bandwidth_mbps <= 0:
+            raise HardwareError(f"bandwidth must be positive: {self.bandwidth_mbps}")
+
+    def round_trip(self, payload_bytes: int, rng: SimRng | None = None) -> float:
+        """Virtual nanoseconds for one request/response exchange."""
+        if payload_bytes < 0:
+            raise HardwareError(f"negative payload: {payload_bytes}")
+        bytes_per_ns = self.bandwidth_mbps * (1024 ** 2) / 1e9
+        base = self.rtt_ms * 1e6 + payload_bytes / bytes_per_ns
+        if rng is not None:
+            base *= rng.lognormal_factor(self.jitter_sigma)
+        return base
+
+
+def lan_path() -> NicModel:
+    """The gateway↔host LAN hop (sub-millisecond)."""
+    return NicModel(rtt_ms=0.2, bandwidth_mbps=1200.0, jitter_sigma=0.05)
+
+
+def wan_path() -> NicModel:
+    """A WAN path to an external service such as the Intel PCS."""
+    return NicModel(rtt_ms=38.0, bandwidth_mbps=120.0, jitter_sigma=0.18)

@@ -1,0 +1,76 @@
+"""Hardware performance counters.
+
+ConfBench integrates with ``perf stat``; the reproduction models the
+counters ``perf`` would report (instructions, cycles, cache references
+and misses, branch misses, context switches, page faults).  The TEE
+layer also exposes TEE-specific counters (e.g. TDCALL/VMEXIT counts)
+through the same structure under dedicated fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import HardwareError
+
+
+@dataclass
+class PerfCounters:
+    """A bundle of monotonically increasing event counters."""
+
+    instructions: int = 0
+    cycles: int = 0
+    cache_references: int = 0
+    cache_misses: int = 0
+    branch_instructions: int = 0
+    branch_misses: int = 0
+    context_switches: int = 0
+    page_faults: int = 0
+    # TEE-specific events (zero on normal VMs):
+    vm_transitions: int = 0     # TDCALL / VMEXIT / RMM calls
+    bounce_buffer_bytes: int = 0
+
+    def add(self, other: "PerfCounters") -> None:
+        """Accumulate every counter from ``other`` into this bundle."""
+        for field_info in fields(self):
+            name = field_info.name
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy (use with :meth:`delta` to bracket a run)."""
+        return PerfCounters(**self.as_dict())
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        """Counters accumulated since ``earlier`` was snapshotted.
+
+        Raises
+        ------
+        HardwareError
+            If any counter went backwards, which would indicate a
+            modelling bug (counters are monotonic).
+        """
+        result = PerfCounters()
+        for field_info in fields(self):
+            name = field_info.name
+            diff = getattr(self, name) - getattr(earlier, name)
+            if diff < 0:
+                raise HardwareError(f"counter {name} went backwards by {-diff}")
+            setattr(result, name, diff)
+        return result
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (for JSON piggybacking)."""
+        return {field_info.name: getattr(self, field_info.name)
+                for field_info in fields(self)}
+
+    def cache_miss_rate(self) -> float:
+        """Cache misses per reference (0.0 when no references)."""
+        if self.cache_references == 0:
+            return 0.0
+        return self.cache_misses / self.cache_references
+
+    def ipc(self) -> float:
+        """Instructions per cycle (0.0 when no cycles)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles

@@ -1,0 +1,231 @@
+"""Runtime model and execution session.
+
+A :class:`RuntimeModel` is static data describing one language
+runtime; a :class:`RuntimeSession` binds a model to a guest kernel
+and exposes the operation API FaaS workloads are written against
+(compute / allocate / log / file I/O).  The session converts each
+source-level operation into machine charges through the kernel's
+execution context, applying dispatch expansion, allocation inflation,
+GC pauses and JIT warmup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeModelError
+from repro.guestos.kernel import GuestKernel
+
+
+@dataclass(frozen=True)
+class RuntimeModel:
+    """Cost model of one language runtime.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``python``, ``node``, ...).
+    versions:
+        Version string per platform, as listed in §IV-A (versions
+        differ between the TDX/SEV/CCA images).
+    startup_ns:
+        Interpreter/VM bootstrap cost.  Charged as STARTUP and thus
+        excluded from the paper-style timing measurements.
+    dispatch_factor:
+        Instructions executed per abstract compute unit (interpreter
+        loop overhead).  Compiled runtimes sit near 1-2.
+    jit_factor / jit_warmup_units:
+        When ``jit_factor`` is set, execution beyond the warmup
+        threshold uses it instead of ``dispatch_factor``.
+    alloc_bytes_per_unit:
+        Hidden allocation traffic per compute unit (boxing, object
+        headers, nursery churn).
+    mem_refs_per_unit:
+        Memory references per compute unit reaching the cache model.
+    gc_threshold_bytes:
+        Allocation debt that triggers a collection.
+    gc_scan_fraction:
+        Fraction of the live heap a collection touches.
+    """
+
+    name: str
+    versions: dict[str, str]
+    startup_ns: float
+    dispatch_factor: float
+    alloc_bytes_per_unit: float
+    mem_refs_per_unit: float
+    gc_threshold_bytes: int
+    gc_scan_fraction: float
+    jit_factor: float | None = None
+    jit_warmup_units: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dispatch_factor <= 0:
+            raise RuntimeModelError(f"{self.name}: dispatch factor must be positive")
+        if self.jit_factor is not None and self.jit_factor <= 0:
+            raise RuntimeModelError(f"{self.name}: JIT factor must be positive")
+
+    @property
+    def is_managed(self) -> bool:
+        """True for runtimes with significant GC/boxing traffic."""
+        return self.alloc_bytes_per_unit >= 4.0
+
+    def version_for(self, platform: str) -> str:
+        """The runtime version installed in a platform's VM images."""
+        try:
+            return self.versions[platform]
+        except KeyError:
+            available = ", ".join(sorted(self.versions))
+            raise RuntimeModelError(
+                f"runtime {self.name!r} has no version for platform "
+                f"{platform!r} (has: {available})"
+            ) from None
+
+
+class RuntimeSession:
+    """One function execution inside one runtime inside one VM.
+
+    FaaS workload bodies call these methods; everything funnels into
+    the kernel's execution context where the platform profile prices
+    it.  The stdout of a function (``log``) is written through the
+    kernel so that logging-heavy workloads pay syscall costs.
+    """
+
+    def __init__(self, model: RuntimeModel, kernel: GuestKernel) -> None:
+        self.model = model
+        self.kernel = kernel
+        self.ctx = kernel.ctx
+        self.units_executed = 0
+        self.heap_bytes = 0
+        self.gc_debt = 0
+        self.gc_runs = 0
+        self.stdout_lines = 0
+        self._booted = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Start the runtime (charged as STARTUP — excluded from timing)."""
+        if self._booted:
+            raise RuntimeModelError("runtime already bootstrapped")
+        self.ctx.startup(self.model.startup_ns)
+        self._booted = True
+
+    def _require_booted(self) -> None:
+        if not self._booted:
+            raise RuntimeModelError(
+                f"runtime {self.model.name!r} used before bootstrap()"
+            )
+
+    # -- operations ------------------------------------------------------
+
+    def _effective_factor(self, units: int) -> float:
+        """Average dispatch factor over ``units``, honouring JIT warmup."""
+        model = self.model
+        if model.jit_factor is None:
+            return model.dispatch_factor
+        warm_remaining = max(0, model.jit_warmup_units - self.units_executed)
+        cold_units = min(units, warm_remaining)
+        hot_units = units - cold_units
+        if units == 0:
+            return model.jit_factor
+        return (
+            cold_units * model.dispatch_factor + hot_units * model.jit_factor
+        ) / units
+
+    def compute(self, units: int, working_set_bytes: int = 0) -> float:
+        """Execute ``units`` of abstract work; returns charged ns.
+
+        One unit corresponds to roughly one native instruction-
+        equivalent of source-level work before runtime expansion.
+        """
+        self._require_booted()
+        if units < 0:
+            raise RuntimeModelError(f"negative compute units: {units}")
+        if units == 0:
+            return 0.0
+        factor = self._effective_factor(units)
+        instructions = int(units * factor)
+        mem_refs = int(units * self.model.mem_refs_per_unit)
+        charged = self.ctx.cpu_execute(
+            instructions,
+            memory_references=mem_refs,
+            working_set_bytes=working_set_bytes or self.heap_bytes,
+        )
+        # implicit allocation churn proportional to the work done
+        churn = int(units * self.model.alloc_bytes_per_unit)
+        if churn:
+            charged += self._allocate_internal(churn, transient=True)
+        self.units_executed += units
+        return charged
+
+    def allocate(self, nbytes: int) -> float:
+        """Explicit allocation retained on the heap (e.g. buffers)."""
+        self._require_booted()
+        if nbytes < 0:
+            raise RuntimeModelError(f"negative allocation: {nbytes}")
+        return self._allocate_internal(nbytes, transient=False)
+
+    def release(self, nbytes: int) -> None:
+        """Drop ``nbytes`` from the tracked heap (free/unreference)."""
+        self._require_booted()
+        if nbytes < 0:
+            raise RuntimeModelError(f"negative release: {nbytes}")
+        self.heap_bytes = max(0, self.heap_bytes - nbytes)
+
+    def _allocate_internal(self, nbytes: int, transient: bool) -> float:
+        charged = self.ctx.mem_alloc(nbytes)
+        if not transient:
+            self.heap_bytes += nbytes
+        self.gc_debt += nbytes
+        if self.gc_debt >= self.model.gc_threshold_bytes:
+            charged += self._collect()
+        return charged
+
+    def _collect(self) -> float:
+        """A garbage collection: scan part of the live heap."""
+        self.gc_runs += 1
+        self.gc_debt = 0
+        scan_bytes = int(self.heap_bytes * self.model.gc_scan_fraction)
+        if scan_bytes <= 0:
+            return 0.0
+        return self.ctx.mem_copy(scan_bytes)
+
+    def log(self, message: str) -> float:
+        """Write one line to stdout (a write syscall through the kernel)."""
+        self._require_booted()
+        self.stdout_lines += 1
+        payload = message.encode()
+        charged = self.compute(8 + len(payload) // 8)   # formatting work
+        charged += self.ctx.syscall_entry(320.0)        # write(2) to the log
+        charged += self.ctx.mem_copy(len(payload))
+        return charged
+
+    # -- file I/O passthrough ------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> int:
+        """Create-if-needed and append to a file."""
+        self._require_booted()
+        if not self.kernel.fs.exists(path):
+            self.kernel.sys_create(path)
+        return self.kernel.sys_write(path, data)
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file."""
+        self._require_booted()
+        return self.kernel.sys_read(path)
+
+    def delete_file(self, path: str) -> int:
+        """Unlink a file."""
+        self._require_booted()
+        return self.kernel.sys_unlink(path)
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory."""
+        self._require_booted()
+        self.kernel.sys_mkdir(path)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        self._require_booted()
+        self.kernel.sys_rmdir(path)

@@ -1,0 +1,32 @@
+"""Deterministic simulation kernel.
+
+This package provides the foundation every other layer builds on:
+
+- :mod:`repro.sim.clock` — a virtual monotonic clock measured in
+  nanoseconds, advanced explicitly by cost models.
+- :mod:`repro.sim.ledger` — a cost ledger that attributes advanced time
+  to categories (cpu, memory, io, vm exits, ...), so experiments can
+  explain *where* overhead comes from.
+- :mod:`repro.sim.rng` — seeded random streams with the distributions
+  used for realistic jitter (lognormal multiplicative noise).
+- :mod:`repro.sim.events` — a minimal discrete-event scheduler used by
+  the network / PCS simulation.
+
+All timing in the reproduction is virtual: for a fixed seed, every
+experiment is reproducible bit-for-bit while still exhibiting realistic
+percentile spreads.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.ledger import CostCategory, CostLedger
+from repro.sim.rng import SimRng
+from repro.sim.events import EventLoop, Event
+
+__all__ = [
+    "VirtualClock",
+    "CostCategory",
+    "CostLedger",
+    "SimRng",
+    "EventLoop",
+    "Event",
+]

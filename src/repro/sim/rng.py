@@ -1,0 +1,107 @@
+"""Seeded random streams for simulation jitter.
+
+Real measurements jitter; the paper's box plots (Fig. 8) and stacked
+percentiles (Fig. 3) only make sense if repeated trials differ.  We use
+multiplicative lognormal noise — a standard model for execution-time
+variability — drawn from deterministic, independently-seeded streams so
+that every experiment is reproducible for a fixed seed.
+
+Streams are derived from a root seed plus a string label, so adding a
+new consumer never perturbs the draws of existing consumers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a child seed from a root seed and a stable string label."""
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class SimRng:
+    """A deterministic random stream with simulation-oriented helpers.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of this stream.
+    label:
+        Optional label; when given, the effective seed is derived from
+        ``(seed, label)`` so distinct labels give independent streams.
+    """
+
+    def __init__(self, seed: int, label: str = "") -> None:
+        self.seed = seed
+        self.label = label
+        effective = derive_seed(seed, label) if label else seed
+        self._random = random.Random(effective)
+
+    def child(self, label: str) -> "SimRng":
+        """A new independent stream derived from this one and ``label``."""
+        combined = f"{self.label}/{label}" if self.label else label
+        return SimRng(self.seed, combined)
+
+    def uniform(self, low: float, high: float) -> float:
+        """A uniform draw in [low, high)."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """An integer draw in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        """A uniform draw in [0, 1)."""
+        return self._random.random()
+
+    def choice(self, seq):
+        """A uniform choice from a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: list) -> None:
+        """Shuffle a list in place."""
+        self._random.shuffle(seq)
+
+    def getrandbits(self, bits: int) -> int:
+        """Random integer with the given number of bits."""
+        return self._random.getrandbits(bits)
+
+    def bytes(self, n: int) -> bytes:
+        """``n`` random bytes."""
+        return self._random.getrandbits(8 * n).to_bytes(n, "big") if n else b""
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """A normal draw."""
+        return self._random.gauss(mu, sigma)
+
+    def lognormal_factor(self, sigma: float) -> float:
+        """A multiplicative noise factor with median 1.0.
+
+        Drawn as ``exp(N(0, sigma))``.  ``sigma`` around 0.01-0.05
+        models quiet bare-metal hosts; the CCA/FVP layer uses larger
+        values to reproduce the paper's longer whiskers.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if sigma == 0:
+            return 1.0
+        return math.exp(self._random.gauss(0.0, sigma))
+
+    def exponential(self, mean: float) -> float:
+        """An exponential draw with the given mean (for network delays)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be > 0, got {mean}")
+        return self._random.expovariate(1.0 / mean)
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return self._random.random() < probability
+
+    def __repr__(self) -> str:
+        return f"SimRng(seed={self.seed}, label={self.label!r})"

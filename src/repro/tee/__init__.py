@@ -1,0 +1,56 @@
+"""TEE platform simulators.
+
+One module per platform the paper benches:
+
+- :mod:`repro.tee.tdx` — Intel TDX: the TDX Module in SEAM mode,
+  TDCALL/SEAMCALL/SEAMRET transitions, encrypted + integrity-protected
+  TD memory, bounce-buffer I/O, firmware-version performance model.
+- :mod:`repro.tee.sevsnp` — AMD SEV-SNP: the Reverse Map Table (RMP),
+  VM Privilege Levels, the AMD-SP secure coprocessor.
+- :mod:`repro.tee.cca` — ARM CCA: four worlds, the Realm Management
+  Monitor with its RMI/RSI interfaces, two-stage address translation,
+  all running inside the :mod:`repro.tee.fvp` simulation layer.
+- :mod:`repro.tee.novm` — the plain, non-confidential VM used as the
+  ratio baseline.
+
+The common surface is :class:`repro.tee.base.TeePlatform`; the shared
+VM execution engine lives in :mod:`repro.tee.vm`.
+"""
+
+from repro.tee.base import TeePlatform, VmConfig
+from repro.tee.vm import Vm, VmState, RunResult
+from repro.tee.novm import NormalVmPlatform
+from repro.tee.tdx import TdxPlatform, TdxModule
+from repro.tee.sevsnp import SevSnpPlatform, ReverseMapTable, Vmpl
+from repro.tee.cca import CcaPlatform, RealmManagementMonitor, World
+from repro.tee.container import ConfidentialContainerPlatform
+from repro.tee.fvp import FvpSimulator
+from repro.tee.sgx import SgxEnclavePlatform
+from repro.tee.registry import (
+    PLATFORM_FACTORIES,
+    available_platforms,
+    platform_by_name,
+)
+
+__all__ = [
+    "TeePlatform",
+    "VmConfig",
+    "Vm",
+    "VmState",
+    "RunResult",
+    "NormalVmPlatform",
+    "TdxPlatform",
+    "TdxModule",
+    "SevSnpPlatform",
+    "ReverseMapTable",
+    "Vmpl",
+    "CcaPlatform",
+    "RealmManagementMonitor",
+    "World",
+    "ConfidentialContainerPlatform",
+    "FvpSimulator",
+    "SgxEnclavePlatform",
+    "PLATFORM_FACTORIES",
+    "available_platforms",
+    "platform_by_name",
+]

@@ -1,0 +1,54 @@
+"""ARM Fixed Virtual Platform (FVP) simulation layer.
+
+No CCA silicon was commercially available when the paper was written,
+so — like the paper — the CCA platform here runs inside a software
+simulator.  ARM claims FVP speed is "comparable to the real hardware";
+the paper's measurements suggest the simulation layer still inflates
+and destabilises timings, and explicitly warns that only *relative*
+comparisons within one simulator are sound.
+
+This module models that layer: a uniform slowdown factor applied to
+everything executed inside the FVP (secure realm *and* normal VM, so
+ratios between them are not distorted by the layer itself), plus
+substantially higher run-to-run variance, which is what gives Fig. 8
+its long whiskers.  It also models the tap/tun networking workaround
+§III-B describes: host↔FVP traffic crosses two extra hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TeeError
+
+
+@dataclass
+class FvpSimulator:
+    """The FVP wrapper every CCA VM runs inside.
+
+    Parameters
+    ----------
+    slowdown:
+        Uniform multiplicative slowdown of simulated execution.
+    noise_sigma:
+        Lognormal sigma of per-run timing noise inside the simulator
+        (well above bare-metal values).
+    tap_tun_hops:
+        Extra network hops between host and VM (the paper needed a
+        mix of tap and tun devices to get FVP networking to work).
+    """
+
+    slowdown: float = 9.0
+    noise_sigma: float = 0.11
+    tap_tun_hops: int = 2
+    HOP_LATENCY_NS: float = 160_000.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise TeeError(f"FVP cannot be faster than hardware: {self.slowdown}")
+        if self.tap_tun_hops < 0:
+            raise TeeError(f"negative hop count: {self.tap_tun_hops}")
+
+    def network_extra_ns(self) -> float:
+        """Added latency of the tap/tun forwarding chain."""
+        return self.tap_tun_hops * self.HOP_LATENCY_NS

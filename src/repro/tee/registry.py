@@ -1,0 +1,70 @@
+"""Platform registry.
+
+ConfBench's gateway maps TEE names to execution platforms through a
+configuration file; this registry is the code-level equivalent.  New
+platforms register a factory here (or are injected programmatically
+into a :class:`repro.core.gateway.Gateway`), which is all "adding a
+new TEE" takes — matching the paper's extensibility claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NoSuchPlatformError
+from repro.tee.base import TeePlatform
+from repro.tee.cca import CcaPlatform
+from repro.tee.container import ConfidentialContainerPlatform
+from repro.tee.novm import NormalVmPlatform
+from repro.tee.sevsnp import SevSnpPlatform
+from repro.tee.sgx import SgxEnclavePlatform
+from repro.tee.tdx import TdxPlatform
+
+PLATFORM_FACTORIES: dict[str, Callable[[int], TeePlatform]] = {
+    "tdx": lambda seed: TdxPlatform(seed=seed),
+    "sev-snp": lambda seed: SevSnpPlatform(seed=seed),
+    "cca": lambda seed: CcaPlatform(seed=seed),
+    "novm": lambda seed: NormalVmPlatform(seed=seed),
+    # execution units beyond VM-level TEEs (the paper's §VI plans):
+    "sgx": lambda seed: SgxEnclavePlatform(seed=seed),
+    "coco": lambda seed: ConfidentialContainerPlatform(seed=seed),
+}
+
+#: The TEE platforms the paper benches (excludes the plain-VM baseline).
+TEE_PLATFORM_NAMES = ("tdx", "sev-snp", "cca")
+
+
+def available_platforms() -> list[str]:
+    """Registered platform names, sorted."""
+    return sorted(PLATFORM_FACTORIES)
+
+
+def platform_by_name(name: str, seed: int = 0) -> TeePlatform:
+    """Instantiate a registered platform.
+
+    Raises
+    ------
+    NoSuchPlatformError
+        If the name is not registered.
+    """
+    try:
+        factory = PLATFORM_FACTORIES[name]
+    except KeyError:
+        raise NoSuchPlatformError(
+            f"unknown platform {name!r}; available: {', '.join(available_platforms())}"
+        ) from None
+    return factory(seed)
+
+
+def register_platform(name: str, factory: Callable[[int], TeePlatform]) -> None:
+    """Register a new platform factory (overwrites are rejected)."""
+    if name in PLATFORM_FACTORIES:
+        raise ValueError(f"platform {name!r} already registered")
+    PLATFORM_FACTORIES[name] = factory
+
+
+def unregister_platform(name: str) -> None:
+    """Remove a platform (used by tests adding temporary platforms)."""
+    if name in ("tdx", "sev-snp", "cca", "novm", "sgx", "coco"):
+        raise ValueError(f"refusing to unregister built-in platform {name!r}")
+    PLATFORM_FACTORIES.pop(name, None)

@@ -1,0 +1,195 @@
+"""VM lifecycle and execution engine.
+
+A :class:`Vm` belongs to one platform and is either confidential or
+normal.  Booting charges platform-specific bring-up; each
+:meth:`Vm.run` executes a workload callable inside a fresh
+:class:`~repro.guestos.context.ExecContext` + guest kernel, so runs
+are independent trials (as in the paper's 10-trial methodology) while
+the VM-level perf counters accumulate across runs.
+
+Workload callables receive the :class:`~repro.guestos.kernel.GuestKernel`
+and return an arbitrary JSON-able payload; the engine wraps that in a
+:class:`RunResult` carrying elapsed time, the cost-ledger breakdown,
+and the perf-counter delta that ConfBench's monitor piggybacks onto
+responses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import VmError
+from repro.guestos.context import ExecContext
+from repro.guestos.kernel import GuestKernel
+from repro.hw.perfcounters import PerfCounters
+from repro.sim.clock import ns_to_ms
+from repro.sim.ledger import CostLedger
+from repro.tee.base import TeePlatform, VmConfig
+
+
+class VmState(enum.Enum):
+    """VM lifecycle states."""
+
+    CREATED = "created"
+    BOOTED = "booted"
+    DESTROYED = "destroyed"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one workload run in one VM."""
+
+    vm_id: str
+    platform: str
+    secure: bool
+    workload: str
+    output: Any
+    elapsed_ns: float
+    total_ns: float                     # including startup charges
+    ledger: CostLedger
+    counters: PerfCounters
+    trial: int = 0
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed time (net of bootstrap) in milliseconds."""
+        return ns_to_ms(self.elapsed_ns)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able summary (what the gateway returns to users)."""
+        return {
+            "vm_id": self.vm_id,
+            "platform": self.platform,
+            "secure": self.secure,
+            "workload": self.workload,
+            "trial": self.trial,
+            "output": self.output,
+            "elapsed_ns": self.elapsed_ns,
+            "elapsed_ms": self.elapsed_ms,
+            "perf": self.counters.as_dict(),
+            "cost_breakdown": {
+                category.value: nanos for category, nanos in self.ledger
+            },
+        }
+
+
+# VM bring-up costs (ns).  Confidential VMs measure and accept pages at
+# launch, which is why their boot is slower.
+_BOOT_BASE_NS = 900_000_000.0          # ~0.9 s plain VM boot
+_SECURE_BOOT_EXTRA_PER_MIB_NS = 110_000.0
+
+
+@dataclass
+class Vm:
+    """One virtual machine instance."""
+
+    vm_id: str
+    platform: TeePlatform
+    config: VmConfig
+    state: VmState = VmState.CREATED
+    boot_time_ns: float = 0.0
+    counters: PerfCounters = field(default_factory=PerfCounters)
+    run_count: int = 0
+
+    @property
+    def secure(self) -> bool:
+        """Whether this is the confidential variant."""
+        return self.config.secure
+
+    def boot(self) -> float:
+        """Boot the VM; returns the virtual boot time in ns.
+
+        Confidential boots pay per-MiB launch measurement (page
+        acceptance / RMP assignment / realm population).
+        """
+        if self.state is not VmState.CREATED:
+            raise VmError(f"{self.vm_id}: cannot boot from state {self.state.value}")
+        boot_ns = _BOOT_BASE_NS
+        if self.secure:
+            boot_ns += self.config.memory_mib * _SECURE_BOOT_EXTRA_PER_MIB_NS
+        profile = self.platform.profile_for(self.secure)
+        boot_ns *= profile.simulator_multiplier
+        self.boot_time_ns = boot_ns
+        self.state = VmState.BOOTED
+        return boot_ns
+
+    def destroy(self) -> None:
+        """Tear the VM down; it cannot run afterwards."""
+        if self.state is VmState.DESTROYED:
+            raise VmError(f"{self.vm_id}: already destroyed")
+        self.state = VmState.DESTROYED
+
+    def run(
+        self,
+        workload: Callable[[GuestKernel], Any],
+        name: str = "anonymous",
+        trial: int = 0,
+        contention: float = 1.0,
+    ) -> RunResult:
+        """Execute ``workload`` in this VM and measure it.
+
+        Each run gets a fresh guest kernel and exec context seeded from
+        ``(platform seed, vm id, workload name, trial)`` so trials are
+        independent but reproducible.
+
+        ``contention`` (>= 1.0) uniformly inflates costs to model
+        co-scheduled VMs oversubscribing the host (the §VI multi-tenant
+        study); 1.0 means the VM runs alone.
+        """
+        if self.state is not VmState.BOOTED:
+            raise VmError(f"{self.vm_id}: cannot run in state {self.state.value}")
+        if contention < 1.0:
+            raise VmError(f"contention factor must be >= 1.0: {contention}")
+
+        self.run_count += 1
+        machine = self.platform.build_machine()
+        profile = self.platform.profile_for(self.secure)
+        if contention > 1.0:
+            import dataclasses
+
+            profile = dataclasses.replace(
+                profile,
+                simulator_multiplier=profile.simulator_multiplier * contention,
+            )
+        ctx = ExecContext(
+            machine=machine,
+            profile=profile,
+            rng=self.platform.rng.child(f"{self.vm_id}/{name}/{trial}"),
+        )
+        kernel = GuestKernel(ctx)
+        if ctx.profile.startup_ns > 0:
+            # per-invocation platform prep (TD entry setup, enclave
+            # creation, sandbox cold start) — charged as STARTUP so the
+            # paper-style elapsed time excludes it, but total_ns keeps it
+            ctx.startup(ctx.profile.startup_ns)
+
+        before = machine.counters.snapshot()
+        output = workload(kernel)
+        delta = machine.counters.delta(before)
+        self.counters.add(delta)
+
+        return RunResult(
+            vm_id=self.vm_id,
+            platform=self.platform.name,
+            secure=self.secure,
+            workload=name,
+            output=output,
+            elapsed_ns=ctx.elapsed_ns(exclude_startup=True),
+            total_ns=ctx.elapsed_ns(exclude_startup=False),
+            ledger=ctx.ledger,
+            counters=delta,
+            trial=trial,
+        )
+
+    def run_trials(
+        self,
+        workload: Callable[[GuestKernel], Any],
+        name: str = "anonymous",
+        trials: int = 10,
+    ) -> list[RunResult]:
+        """Run ``trials`` independent trials (the paper uses 10)."""
+        if trials < 1:
+            raise VmError(f"need at least one trial, got {trials}")
+        return [self.run(workload, name=name, trial=i) for i in range(trials)]

@@ -1,0 +1,18 @@
+"""Workloads.
+
+Four families, mirroring §IV-B:
+
+- :mod:`repro.workloads.faas` — the 25 FaaS functions (from the
+  FaaSdom / FaaSBenchmark / Lua-Benchmarks / wasmi-benchmarks mix)
+  executed through language-runtime sessions.
+- :mod:`repro.workloads.ml` — confidential ML inference: a
+  MobileNet-style depthwise-separable CNN classifying 1 MB images.
+- :mod:`repro.workloads.dbms` — a from-scratch mini relational engine
+  plus a speedtest1-style stress suite.
+- :mod:`repro.workloads.unixbench` — a Byte-UnixBench-style OS
+  benchmark suite with index scoring.
+"""
+
+from repro.workloads.base import FaasWorkload, WorkloadTrait
+
+__all__ = ["FaasWorkload", "WorkloadTrait"]

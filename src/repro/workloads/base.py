@@ -1,0 +1,47 @@
+"""Workload descriptors.
+
+A :class:`FaasWorkload` is a named function body written against the
+:class:`~repro.runtimes.base.RuntimeSession` API, so the same source
+logic runs under every language runtime — the reproduction's analogue
+of the paper "manually porting specific functions across languages,
+maintaining as much as possible the original logic" (§IV-B).  Each
+workload genuinely computes its result (tested for correctness) while
+charging the cost model for the work implied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtimes.base import RuntimeSession
+
+
+class WorkloadTrait(enum.Enum):
+    """Dominant resource profile of a workload (used by analyses)."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    IO = "io"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class FaasWorkload:
+    """One FaaS benchmark function."""
+
+    name: str
+    trait: WorkloadTrait
+    description: str
+    fn: Callable[[RuntimeSession, dict[str, Any]], Any]
+    default_args: dict[str, Any] = field(default_factory=dict)
+    origin: str = ""   # which public suite the paper drew it from
+
+    def run(self, session: RuntimeSession,
+            args: dict[str, Any] | None = None) -> Any:
+        """Execute the workload body with defaults merged under ``args``."""
+        merged = dict(self.default_args)
+        if args:
+            merged.update(args)
+        return self.fn(session, merged)

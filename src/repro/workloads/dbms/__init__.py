@@ -1,0 +1,31 @@
+"""Mini relational engine + speedtest suite.
+
+The paper's DBMS experiment runs SQLite's ``speedtest1`` amalgamation
+(v3460000, default relative test size 100) inside confidential VMs.
+This package substitutes a from-scratch engine with the same moving
+parts:
+
+- SQL front end: tokenizer → recursive-descent parser → AST
+  (:mod:`tokenizer`, :mod:`parser`, :mod:`ast_nodes`);
+- storage: B+trees for rows and secondary indexes over a page
+  accounting layer (:mod:`btree`, :mod:`pager`);
+- execution: scan/index-scan/join/aggregate/sort plans
+  (:mod:`executor`), fronted by :class:`repro.workloads.dbms.engine.Database`;
+- :mod:`speedtest` — a test mix mirroring speedtest1's categories
+  with the same relative-size knob.
+
+The engine is real (queries return correct rows, verified by tests);
+virtual time is charged through cost hooks that map row touches and
+page traffic onto the VM execution context.
+"""
+
+from repro.workloads.dbms.engine import Database, DbCostHooks, KernelCostHooks
+from repro.workloads.dbms.speedtest import SpeedtestResult, run_speedtest
+
+__all__ = [
+    "Database",
+    "DbCostHooks",
+    "KernelCostHooks",
+    "SpeedtestResult",
+    "run_speedtest",
+]

@@ -1,0 +1,214 @@
+"""AST node definitions for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.dbms.values import SqlValue
+
+
+# -- expressions -------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    value: SqlValue
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+    table: str | None = None
+
+    @property
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str                    # "NOT" | "-"
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str                  # COUNT/SUM/AVG/MIN/MAX/LENGTH/ABS
+    argument: "Expression | None"   # None means COUNT(*)
+
+
+@dataclass(frozen=True)
+class Like:
+    """``expr [NOT] LIKE pattern`` — % and _ wildcards."""
+
+    operand: "Expression"
+    pattern: "Expression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr [NOT] IN (item, ...)``."""
+
+    operand: "Expression"
+    items: tuple["Expression", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    """``expr [NOT] BETWEEN low AND high`` (inclusive)."""
+
+    operand: "Expression"
+    low: "Expression"
+    high: "Expression"
+    negated: bool = False
+
+
+Expression = (Literal | ColumnRef | BinaryOp | UnaryOp | IsNull
+              | FunctionCall | Like | InList | Between)
+
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+SCALAR_FUNCTIONS = frozenset({"LENGTH", "ABS"})
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """True if the expression tree contains an aggregate call."""
+    if isinstance(expr, FunctionCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            return True
+        return expr.argument is not None and contains_aggregate(expr.argument)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, IsNull):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, Like):
+        return contains_aggregate(expr.operand) or contains_aggregate(expr.pattern)
+    if isinstance(expr, InList):
+        return contains_aggregate(expr.operand) or any(
+            contains_aggregate(item) for item in expr.items
+        )
+    if isinstance(expr, Between):
+        return (contains_aggregate(expr.operand)
+                or contains_aggregate(expr.low)
+                or contains_aggregate(expr.high))
+    return False
+
+
+# -- statements ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    affinity: str              # INTEGER | REAL | TEXT
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    index: str
+    table: str
+    column: str
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...] | None     # None = all, in table order
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expression
+    alias: str | None = None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    alias: str | None
+    on: Expression
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    table: str | None
+    alias: str | None = None
+    join: JoinClause | None = None
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = field(default=())
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Begin:
+    pass
+
+
+@dataclass(frozen=True)
+class Commit:
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback:
+    pass
+
+
+Statement = (
+    CreateTable | CreateIndex | DropTable | Insert | Select | Update
+    | Delete | Begin | Commit | Rollback
+)

@@ -1,0 +1,182 @@
+"""B+tree for row and index storage.
+
+Keys are opaque comparable tuples (the engine wraps SQL values with
+:func:`repro.workloads.dbms.values.sort_key` to get a total order);
+leaves are linked for range scans.  Insert splits nodes top-down;
+delete removes from the leaf without rebalancing — lookups stay
+correct and the tree stays sorted, trading a little balance for a lot
+of simplicity (documented engine-level decision; speedtest's delete
+mix doesn't degrade it meaningfully).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DbmsError
+
+
+@dataclass
+class _Leaf:
+    keys: list[Any] = field(default_factory=list)
+    values: list[Any] = field(default_factory=list)
+    next: "_Leaf | None" = None
+
+
+@dataclass
+class _Internal:
+    keys: list[Any] = field(default_factory=list)        # separators
+    children: list["_Internal | _Leaf"] = field(default_factory=list)
+
+
+class BPlusTree:
+    """A B+tree mapping unique keys to values."""
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 4:
+            raise DbmsError(f"order must be >= 4, got {order}")
+        self.order = order
+        self.root: _Internal | _Leaf = _Leaf()
+        self.size = 0
+        self.node_touches = 0    # cost-accounting signal for the pager
+
+    # -- navigation -------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> tuple[_Leaf, list[_Internal]]:
+        node = self.root
+        path: list[_Internal] = []
+        while isinstance(node, _Internal):
+            self.node_touches += 1
+            index = bisect.bisect_right(node.keys, key)
+            path.append(node)
+            node = node.children[index]
+        self.node_touches += 1
+        return node, path
+
+    # -- operations -----------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value for ``key`` or ``default``."""
+        leaf, _ = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def insert(self, key: Any, value: Any, replace: bool = False) -> None:
+        """Insert a key; duplicate keys rejected unless ``replace``."""
+        leaf, path = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            if not replace:
+                raise DbmsError(f"duplicate key: {key!r}")
+            leaf.values[index] = value
+            return
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        self.size += 1
+        if len(leaf.keys) > self.order:
+            self._split(leaf, path)
+
+    def _split(self, node: _Leaf | _Internal, path: list[_Internal]) -> None:
+        mid = len(node.keys) // 2
+        if isinstance(node, _Leaf):
+            sibling = _Leaf(
+                keys=node.keys[mid:],
+                values=node.values[mid:],
+                next=node.next,
+            )
+            del node.keys[mid:]
+            del node.values[mid:]
+            node.next = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = node.keys[mid]
+            sibling = _Internal(
+                keys=node.keys[mid + 1:],
+                children=node.children[mid + 1:],
+            )
+            del node.keys[mid:]
+            del node.children[mid + 1:]
+
+        if not path:
+            self.root = _Internal(keys=[separator], children=[node, sibling])
+            return
+        parent = path[-1]
+        index = bisect.bisect_right(parent.keys, separator)
+        parent.keys.insert(index, separator)
+        parent.children.insert(index + 1, sibling)
+        if len(parent.keys) > self.order:
+            self._split(parent, path[:-1])
+
+    def delete(self, key: Any) -> bool:
+        """Remove a key; returns True if it was present."""
+        leaf, _ = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        del leaf.keys[index]
+        del leaf.values[index]
+        self.size -= 1
+        return True
+
+    # -- scans ---------------------------------------------------------------------
+
+    def _first_leaf(self) -> _Leaf:
+        node = self.root
+        while isinstance(node, _Internal):
+            self.node_touches += 1
+            node = node.children[0]
+        return node
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        leaf: _Leaf | None = self._first_leaf()
+        while leaf is not None:
+            self.node_touches += 1
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True,
+              include_high: bool = True) -> Iterator[tuple[Any, Any]]:
+        """(key, value) pairs with low <= key <= high (bounds optional)."""
+        if low is None:
+            leaf: _Leaf | None = self._first_leaf()
+            start = 0
+        else:
+            leaf, _ = self._find_leaf(low)
+            start = (bisect.bisect_left(leaf.keys, low) if include_low
+                     else bisect.bisect_right(leaf.keys, low))
+        while leaf is not None:
+            self.node_touches += 1
+            for index in range(start, len(leaf.keys)):
+                key = leaf.keys[index]
+                if high is not None:
+                    if include_high:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                yield key, leaf.values[index]
+            leaf = leaf.next
+            start = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def depth(self) -> int:
+        """Tree height (1 = just a leaf)."""
+        node = self.root
+        levels = 1
+        while isinstance(node, _Internal):
+            levels += 1
+            node = node.children[0]
+        return levels

@@ -1,0 +1,674 @@
+"""Expression evaluation and statement execution.
+
+The executor runs parsed statements against the catalog.  Plans are
+simple and SQLite-like:
+
+- ``SELECT`` without FROM evaluates expressions directly;
+- single-table queries use an **index path** when a WHERE conjunct is
+  an equality or range on an indexed column, else a full scan;
+- joins are nested loops, probing the inner table's index on the join
+  column when one exists;
+- GROUP BY/aggregates, ORDER BY, DISTINCT and LIMIT run as pipeline
+  stages over the row stream.
+
+Every row touched increments ``rows_touched`` on the executor so the
+engine can charge per-row CPU costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SqlExecutionError
+from repro.workloads.dbms import ast_nodes as ast
+from repro.workloads.dbms.values import (
+    SqlValue,
+    arithmetic,
+    compare,
+    is_truthy,
+    sort_key,
+)
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from repro.workloads.dbms.engine import Database
+    from repro.workloads.dbms.table import Table
+
+
+@dataclass
+class RowScope:
+    """Column bindings for one logical row (possibly a join product)."""
+
+    bindings: dict[str, dict[str, SqlValue]] = field(default_factory=dict)
+
+    def bind(self, alias: str, table: "Table", row: tuple[SqlValue, ...]) -> None:
+        self.bindings[alias] = {
+            col.name: row[i] for i, col in enumerate(table.columns)
+        }
+
+    def lookup(self, ref: ast.ColumnRef) -> SqlValue:
+        if ref.table is not None:
+            try:
+                return self.bindings[ref.table][ref.name]
+            except KeyError:
+                raise SqlExecutionError(f"unknown column {ref.display}") from None
+        hits = [
+            columns[ref.name]
+            for columns in self.bindings.values()
+            if ref.name in columns
+        ]
+        if not hits:
+            raise SqlExecutionError(f"unknown column {ref.name!r}")
+        if len(hits) > 1:
+            raise SqlExecutionError(f"ambiguous column {ref.name!r}")
+        return hits[0]
+
+
+_EMPTY_SCOPE = RowScope()
+
+
+def _like_match(text: str, pattern: str) -> bool:
+    """SQL LIKE: ``%`` matches any run, ``_`` matches one character.
+
+    Case-insensitive for ASCII, as in SQLite's default.
+    """
+    import re
+
+    parts = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.fullmatch("".join(parts), text, flags=re.IGNORECASE) is not None
+
+
+def evaluate(expr: ast.Expression, scope: RowScope) -> SqlValue:
+    """Evaluate a scalar expression in a row scope."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        return scope.lookup(expr)
+    if isinstance(expr, ast.UnaryOp):
+        value = evaluate(expr.operand, scope)
+        if expr.op == "-":
+            return None if value is None else -value
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            return 0 if is_truthy(value) else 1
+        raise SqlExecutionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.operand, scope)
+        result = value is None
+        return int(result != expr.negated)
+    if isinstance(expr, ast.Like):
+        value = evaluate(expr.operand, scope)
+        pattern = evaluate(expr.pattern, scope)
+        if value is None or pattern is None:
+            return None
+        matched = _like_match(str(value), str(pattern))
+        return int(matched != expr.negated)
+    if isinstance(expr, ast.InList):
+        value = evaluate(expr.operand, scope)
+        if value is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            candidate = evaluate(item, scope)
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare(value, candidate) == 0:
+                return int(not expr.negated)
+        if saw_null:
+            return None     # SQL three-valued logic: unknown membership
+        return int(expr.negated)
+    if isinstance(expr, ast.Between):
+        value = evaluate(expr.operand, scope)
+        low = evaluate(expr.low, scope)
+        high = evaluate(expr.high, scope)
+        if value is None or low is None or high is None:
+            return None
+        inside = compare(value, low) >= 0 and compare(value, high) <= 0
+        return int(inside != expr.negated)
+    if isinstance(expr, ast.BinaryOp):
+        return _binary(expr, scope)
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name in ast.AGGREGATE_FUNCTIONS:
+            raise SqlExecutionError(
+                f"aggregate {expr.name} used outside aggregation context"
+            )
+        value = evaluate(expr.argument, scope)
+        if expr.name == "LENGTH":
+            return None if value is None else len(str(value))
+        if expr.name == "ABS":
+            return None if value is None else abs(value)
+        raise SqlExecutionError(f"unknown function {expr.name!r}")
+    raise SqlExecutionError(f"cannot evaluate {expr!r}")
+
+
+def _binary(expr: ast.BinaryOp, scope: RowScope) -> SqlValue:
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, scope)
+        if left is not None and not is_truthy(left):
+            return 0
+        right = evaluate(expr.right, scope)
+        if right is not None and not is_truthy(right):
+            return 0
+        if left is None or right is None:
+            return None
+        return 1
+    if op == "OR":
+        left = evaluate(expr.left, scope)
+        if left is not None and is_truthy(left):
+            return 1
+        right = evaluate(expr.right, scope)
+        if right is not None and is_truthy(right):
+            return 1
+        if left is None or right is None:
+            return None
+        return 0
+    left = evaluate(expr.left, scope)
+    right = evaluate(expr.right, scope)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        result = compare(left, right)
+        if result is None:
+            return None
+        return int({
+            "=": result == 0,
+            "!=": result != 0,
+            "<": result < 0,
+            "<=": result <= 0,
+            ">": result > 0,
+            ">=": result >= 0,
+        }[op])
+    return arithmetic(op, left, right)
+
+
+# -- aggregates ------------------------------------------------------------
+
+class _Accumulator:
+    """State for one aggregate call over one group."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float = 0
+        self.minimum: SqlValue = None
+        self.maximum: SqlValue = None
+
+    def feed(self, value: SqlValue) -> None:
+        if self.name == "COUNT":
+            if value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        self.count += 1
+        if self.name in ("SUM", "AVG"):
+            self.total += value
+        if self.name in ("MIN", "MAX"):
+            if self.minimum is None or sort_key(value) < sort_key(self.minimum):
+                self.minimum = value
+            if self.maximum is None or sort_key(value) > sort_key(self.maximum):
+                self.maximum = value
+
+    def result(self) -> SqlValue:
+        if self.name == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.name == "SUM":
+            return self.total
+        if self.name == "AVG":
+            return self.total / self.count
+        if self.name == "MIN":
+            return self.minimum
+        if self.name == "MAX":
+            return self.maximum
+        raise SqlExecutionError(f"unknown aggregate {self.name!r}")
+
+
+def _evaluate_with_aggregates(
+    expr: ast.Expression,
+    group_rows: list[RowScope],
+) -> SqlValue:
+    """Evaluate an expression over a group (aggregates consume the group)."""
+    if isinstance(expr, ast.FunctionCall) and expr.name in ast.AGGREGATE_FUNCTIONS:
+        acc = _Accumulator(expr.name)
+        for scope in group_rows:
+            if expr.argument is None:      # COUNT(*)
+                acc.count += 1
+            else:
+                acc.feed(evaluate(expr.argument, scope))
+        return acc.result()
+    if isinstance(expr, ast.BinaryOp):
+        return _binary_static(
+            expr.op,
+            _evaluate_with_aggregates(expr.left, group_rows),
+            _evaluate_with_aggregates(expr.right, group_rows),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        value = _evaluate_with_aggregates(expr.operand, group_rows)
+        if expr.op == "-":
+            return None if value is None else -value
+        return None if value is None else int(not is_truthy(value))
+    # non-aggregate leaf: evaluate on the group's first row
+    representative = group_rows[0] if group_rows else _EMPTY_SCOPE
+    return evaluate(expr, representative)
+
+
+def _binary_static(op: str, left: SqlValue, right: SqlValue) -> SqlValue:
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        result = compare(left, right)
+        if result is None:
+            return None
+        return int({
+            "=": result == 0, "!=": result != 0, "<": result < 0,
+            "<=": result <= 0, ">": result > 0, ">=": result >= 0,
+        }[op])
+    if op in ("AND", "OR"):
+        if left is None or right is None:
+            return None
+        truth = (is_truthy(left) and is_truthy(right)) if op == "AND" else (
+            is_truthy(left) or is_truthy(right))
+        return int(truth)
+    return arithmetic(op, left, right)
+
+
+# -- index-path analysis ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class IndexPath:
+    """A usable index access: equality or range on one column."""
+
+    column: str
+    equals: SqlValue | None = None
+    low: SqlValue | None = None
+    high: SqlValue | None = None
+    include_low: bool = True
+    include_high: bool = True
+
+
+def _conjuncts(expr: ast.Expression) -> list[ast.Expression]:
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def find_index_path(table: "Table", where: ast.Expression | None,
+                    alias: str) -> IndexPath | None:
+    """Choose an index access path for a WHERE clause, if any."""
+    if where is None or not table.indexes:
+        return None
+    for conjunct in _conjuncts(where):
+        if (isinstance(conjunct, ast.Between) and not conjunct.negated
+                and isinstance(conjunct.operand, ast.ColumnRef)
+                and isinstance(conjunct.low, ast.Literal)
+                and isinstance(conjunct.high, ast.Literal)
+                and conjunct.low.value is not None
+                and conjunct.high.value is not None
+                and (conjunct.operand.table is None
+                     or conjunct.operand.table == alias)
+                and conjunct.operand.name in table.indexes):
+            return IndexPath(column=conjunct.operand.name,
+                             low=conjunct.low.value,
+                             high=conjunct.high.value)
+        if not isinstance(conjunct, ast.BinaryOp):
+            continue
+        if conjunct.op not in ("=", "<", "<=", ">", ">="):
+            continue
+        column_side, literal_side, op = None, None, conjunct.op
+        if (isinstance(conjunct.left, ast.ColumnRef)
+                and isinstance(conjunct.right, ast.Literal)):
+            column_side, literal_side = conjunct.left, conjunct.right
+        elif (isinstance(conjunct.right, ast.ColumnRef)
+                and isinstance(conjunct.left, ast.Literal)):
+            column_side, literal_side = conjunct.right, conjunct.left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if column_side is None:
+            continue
+        if column_side.table is not None and column_side.table != alias:
+            continue
+        if column_side.name not in table.indexes:
+            continue
+        value = literal_side.value
+        if value is None:
+            continue
+        if op == "=":
+            return IndexPath(column=column_side.name, equals=value)
+        if op in ("<", "<="):
+            return IndexPath(column=column_side.name, high=value,
+                             include_high=(op == "<="))
+        return IndexPath(column=column_side.name, low=value,
+                         include_low=(op == ">="))
+    return None
+
+
+# -- statement execution ------------------------------------------------------------
+
+@dataclass
+class ExecResult:
+    """Result of one statement."""
+
+    columns: list[str]
+    rows: list[tuple[SqlValue, ...]]
+    rowcount: int = 0
+
+    def scalar(self) -> SqlValue:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise SqlExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)} rows"
+            )
+        return self.rows[0][0]
+
+
+class Executor:
+    """Executes statements against a database's catalog."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+        self.rows_touched = 0
+
+    # -- SELECT ------------------------------------------------------------
+
+    def _source_scopes(self, stmt: ast.Select):
+        """Yield RowScopes for the FROM/JOIN product (post-WHERE for
+        the index-path part, pre-WHERE otherwise)."""
+        if stmt.table is None:
+            yield RowScope()
+            return
+        table = self.db.table(stmt.table)
+        alias = stmt.alias or stmt.table
+
+        path = find_index_path(table, stmt.where, alias) if stmt.join is None else None
+        if path is not None:
+            if path.equals is not None:
+                source = table.index_lookup(path.column, path.equals)
+            else:
+                source = table.index_range(
+                    path.column, path.low, path.high,
+                    include_low=path.include_low,
+                    include_high=path.include_high,
+                )
+        else:
+            source = table.scan()
+
+        if stmt.join is None:
+            for _, row in source:
+                self.rows_touched += 1
+                scope = RowScope()
+                scope.bind(alias, table, row)
+                yield scope
+            return
+
+        join_table = self.db.table(stmt.join.table)
+        join_alias = stmt.join.alias or stmt.join.table
+        join_column = self._join_probe_column(stmt.join.on, join_alias, join_table)
+
+        for _, row in source:
+            self.rows_touched += 1
+            outer = RowScope()
+            outer.bind(alias, table, row)
+            if join_column is not None:
+                probe_value = self._join_probe_value(
+                    stmt.join.on, outer, join_alias
+                )
+                inner_rows = join_table.index_lookup(join_column, probe_value)
+            else:
+                inner_rows = join_table.scan()
+            for _, inner in inner_rows:
+                self.rows_touched += 1
+                scope = RowScope(bindings=dict(outer.bindings))
+                scope.bind(join_alias, join_table, inner)
+                if is_truthy(evaluate(stmt.join.on, scope)):
+                    yield scope
+
+    def _join_probe_column(self, on: ast.Expression, join_alias: str,
+                           join_table: "Table") -> str | None:
+        """If the ON clause is `a.x = b.y` with b.y indexed, probe it."""
+        if not (isinstance(on, ast.BinaryOp) and on.op == "="):
+            return None
+        for side in (on.left, on.right):
+            if (isinstance(side, ast.ColumnRef) and side.table == join_alias
+                    and side.name in join_table.indexes):
+                return side.name
+        return None
+
+    def _join_probe_value(self, on: ast.Expression, outer: RowScope,
+                          join_alias: str) -> SqlValue:
+        assert isinstance(on, ast.BinaryOp)
+        if (isinstance(on.left, ast.ColumnRef)
+                and on.left.table == join_alias):
+            return evaluate(on.right, outer)
+        return evaluate(on.left, outer)
+
+    def _expand_star(self, stmt: ast.Select) -> list[tuple[str, ast.Expression]]:
+        """The output column list with * expanded."""
+        outputs: list[tuple[str, ast.Expression]] = []
+        for item in stmt.items:
+            if not item.star:
+                name = item.alias or _expression_name(item.expr)
+                outputs.append((name, item.expr))
+                continue
+            if stmt.table is None:
+                raise SqlExecutionError("SELECT * needs a FROM clause")
+            table = self.db.table(stmt.table)
+            alias = stmt.alias or stmt.table
+            for col in table.columns:
+                outputs.append(
+                    (col.name, ast.ColumnRef(name=col.name, table=alias))
+                )
+            if stmt.join is not None:
+                join_table = self.db.table(stmt.join.table)
+                join_alias = stmt.join.alias or stmt.join.table
+                for col in join_table.columns:
+                    outputs.append(
+                        (col.name, ast.ColumnRef(name=col.name, table=join_alias))
+                    )
+        return outputs
+
+    def select(self, stmt: ast.Select) -> ExecResult:
+        outputs = self._expand_star(stmt)
+        is_aggregate = bool(stmt.group_by) or any(
+            ast.contains_aggregate(expr) for _, expr in outputs
+        )
+
+        scopes = []
+        for scope in self._source_scopes(stmt):
+            if stmt.where is not None and not is_truthy(
+                evaluate(stmt.where, scope)
+            ):
+                continue
+            scopes.append(scope)
+
+        if is_aggregate:
+            rows = self._aggregate_rows(stmt, outputs, scopes)
+        else:
+            rows = [
+                tuple(evaluate(expr, scope) for _, expr in outputs)
+                for scope in scopes
+            ]
+            if stmt.order_by:
+                rows = self._order(stmt, outputs, rows, scopes)
+
+        if is_aggregate and stmt.order_by:
+            rows = self._order_plain(stmt, outputs, rows)
+
+        if stmt.distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                key = tuple(sort_key(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+
+        return ExecResult(columns=[name for name, _ in outputs], rows=rows,
+                          rowcount=len(rows))
+
+    def _aggregate_rows(self, stmt, outputs, scopes):
+        groups: dict[tuple, list[RowScope]] = {}
+        if stmt.group_by:
+            for scope in scopes:
+                key = tuple(
+                    sort_key(evaluate(expr, scope)) for expr in stmt.group_by
+                )
+                groups.setdefault(key, []).append(scope)
+        else:
+            groups[()] = scopes
+        rows = []
+        for group_scopes in groups.values():
+            if stmt.having is not None:
+                verdict = _evaluate_with_aggregates(stmt.having, group_scopes)
+                if verdict is None or not is_truthy(verdict):
+                    continue
+            rows.append(tuple(
+                _evaluate_with_aggregates(expr, group_scopes)
+                for _, expr in outputs
+            ))
+        return rows
+
+    def _order(self, stmt, outputs, rows, scopes):
+        keyed = []
+        for row, scope in zip(rows, scopes):
+            keys = []
+            for item in stmt.order_by:
+                value = evaluate(item.expr, scope)
+                keys.append((item.descending, sort_key(value)))
+            keyed.append((keys, row))
+        return _sorted_by_order_keys(keyed, stmt.order_by)
+
+    def _order_plain(self, stmt, outputs, rows):
+        """ORDER BY over aggregate output rows.
+
+        The order expression must match an output column, either by
+        alias/name (``ORDER BY n``) or structurally (``ORDER BY b % 7``
+        when ``b % 7`` is selected) — frozen AST nodes compare by value.
+        """
+        name_to_pos = {name: i for i, (name, _) in enumerate(outputs)}
+        expr_to_pos = {expr: i for i, (_, expr) in enumerate(outputs)}
+
+        def position_of(order_expr) -> int:
+            if (isinstance(order_expr, ast.ColumnRef)
+                    and order_expr.name in name_to_pos):
+                return name_to_pos[order_expr.name]
+            if order_expr in expr_to_pos:
+                return expr_to_pos[order_expr]
+            raise SqlExecutionError(
+                "ORDER BY on aggregates must reference output columns"
+            )
+
+        positions = [position_of(item.expr) for item in stmt.order_by]
+        keyed = []
+        for row in rows:
+            keys = [
+                (item.descending, sort_key(row[pos]))
+                for item, pos in zip(stmt.order_by, positions)
+            ]
+            keyed.append((keys, row))
+        return _sorted_by_order_keys(keyed, stmt.order_by)
+
+    # -- DML -------------------------------------------------------------------
+
+    def insert(self, stmt: ast.Insert) -> ExecResult:
+        table = self.db.table(stmt.table)
+        inserted = 0
+        for value_tuple in stmt.rows:
+            values = [evaluate(expr, _EMPTY_SCOPE) for expr in value_tuple]
+            if stmt.columns is not None:
+                if len(values) != len(stmt.columns):
+                    raise SqlExecutionError(
+                        f"{len(stmt.columns)} columns but {len(values)} values"
+                    )
+                full: list[SqlValue] = [None] * len(table.columns)
+                for name, value in zip(stmt.columns, values):
+                    if name not in table.column_index:
+                        raise SqlExecutionError(
+                            f"no column {name!r} in {table.name!r}"
+                        )
+                    full[table.column_index[name]] = value
+                values = full
+            rowid = table.insert_row(tuple(values))
+            self.db.log_undo(("insert", table.name, rowid))
+            inserted += 1
+            self.rows_touched += 1
+        return ExecResult(columns=[], rows=[], rowcount=inserted)
+
+    def _matching_rowids(self, table: "Table", where: ast.Expression | None,
+                         alias: str) -> list[int]:
+        path = find_index_path(table, where, alias)
+        if path is not None:
+            if path.equals is not None:
+                source = table.index_lookup(path.column, path.equals)
+            else:
+                source = table.index_range(
+                    path.column, path.low, path.high,
+                    include_low=path.include_low,
+                    include_high=path.include_high,
+                )
+        else:
+            source = table.scan()
+        matches = []
+        for rowid, row in source:
+            self.rows_touched += 1
+            scope = RowScope()
+            scope.bind(alias, table, row)
+            if where is None or is_truthy(evaluate(where, scope)):
+                matches.append(rowid)
+        return matches
+
+    def update(self, stmt: ast.Update) -> ExecResult:
+        table = self.db.table(stmt.table)
+        for column, _ in stmt.assignments:
+            if column not in table.column_index:
+                raise SqlExecutionError(f"no column {column!r} in {table.name!r}")
+        updated = 0
+        for rowid in self._matching_rowids(table, stmt.where, stmt.table):
+            row = table.rows.get(rowid)
+            scope = RowScope()
+            scope.bind(stmt.table, table, row)
+            new_row = list(row)
+            for column, expr in stmt.assignments:
+                new_row[table.column_index[column]] = evaluate(expr, scope)
+            old = table.update_row(rowid, tuple(new_row))
+            self.db.log_undo(("update", table.name, rowid, old))
+            updated += 1
+        return ExecResult(columns=[], rows=[], rowcount=updated)
+
+    def delete(self, stmt: ast.Delete) -> ExecResult:
+        table = self.db.table(stmt.table)
+        deleted = 0
+        for rowid in self._matching_rowids(table, stmt.where, stmt.table):
+            old = table.delete_row(rowid)
+            self.db.log_undo(("delete", table.name, rowid, old))
+            deleted += 1
+        return ExecResult(columns=[], rows=[], rowcount=deleted)
+
+
+def _sorted_by_order_keys(keyed, order_items):
+    """Stable multi-key sort honouring per-key DESC flags."""
+    for position in reversed(range(len(order_items))):
+        descending = order_items[position].descending
+        keyed.sort(key=lambda pair: pair[0][position][1], reverse=descending)
+    return [row for _, row in keyed]
+
+
+def _expression_name(expr: ast.Expression) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        inner = "*" if expr.argument is None else _expression_name(expr.argument)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    return "expr"

@@ -1,0 +1,413 @@
+"""Recursive-descent SQL parser.
+
+Grammar (informal)::
+
+    statement  := create_table | create_index | drop_table | insert
+                | select | update | delete | BEGIN | COMMIT | ROLLBACK
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | comparison
+    comparison := additive ((= != < <= > >=) additive | IS [NOT] NULL)?
+    additive   := term ((+ - ||) term)*
+    term       := factor ((* / %) factor)*
+    factor     := - factor | literal | column | function | ( expr )
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.workloads.dbms import ast_nodes as ast
+from repro.workloads.dbms.ast_nodes import Expression
+from repro.workloads.dbms.tokenizer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_FUNCTIONS = ast.AGGREGATE_FUNCTIONS | ast.SCALAR_FUNCTIONS
+
+
+class Parser:
+    """Parses one statement from a token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def accept(self, type_: TokenType, value: str | None = None) -> Token | None:
+        if self.current.matches(type_, value):
+            return self.advance()
+        return None
+
+    def expect(self, type_: TokenType, value: str | None = None) -> Token:
+        token = self.accept(type_, value)
+        if token is None:
+            want = value if value is not None else type_.value
+            raise SqlSyntaxError(
+                f"expected {want!r}, got {self.current.value!r} "
+                f"at position {self.current.position}"
+            )
+        return token
+
+    def accept_keyword(self, *words: str) -> str | None:
+        for word in words:
+            if self.accept(TokenType.KEYWORD, word):
+                return word
+        return None
+
+    def expect_ident(self) -> str:
+        token = self.current
+        # allow non-reserved use of type keywords as identifiers is NOT
+        # supported: identifiers must be plain IDENT tokens.
+        if token.type is not TokenType.IDENT:
+            raise SqlSyntaxError(
+                f"expected identifier, got {token.value!r} at {token.position}"
+            )
+        return self.advance().value
+
+    # -- statement dispatch -------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self.accept(TokenType.KEYWORD, "CREATE"):
+            if self.current.matches(TokenType.KEYWORD, "TABLE"):
+                return self._create_table()
+            return self._create_index()
+        if self.accept(TokenType.KEYWORD, "DROP"):
+            return self._drop_table()
+        if self.accept(TokenType.KEYWORD, "INSERT"):
+            return self._insert()
+        if self.accept(TokenType.KEYWORD, "SELECT"):
+            return self._select()
+        if self.accept(TokenType.KEYWORD, "UPDATE"):
+            return self._update()
+        if self.accept(TokenType.KEYWORD, "DELETE"):
+            return self._delete()
+        if self.accept(TokenType.KEYWORD, "BEGIN"):
+            return ast.Begin()
+        if self.accept(TokenType.KEYWORD, "COMMIT"):
+            return ast.Commit()
+        if self.accept(TokenType.KEYWORD, "ROLLBACK"):
+            return ast.Rollback()
+        raise SqlSyntaxError(
+            f"unsupported statement starting with {self.current.value!r}"
+        )
+
+    def finish(self) -> None:
+        self.accept(TokenType.OP, ";")
+        if self.current.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"trailing tokens starting at {self.current.value!r} "
+                f"(position {self.current.position})"
+            )
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _create_table(self) -> ast.CreateTable:
+        self.expect(TokenType.KEYWORD, "TABLE")
+        if_not_exists = False
+        if self.accept(TokenType.KEYWORD, "IF"):
+            self.expect(TokenType.KEYWORD, "NOT")
+            self.expect(TokenType.KEYWORD, "EXISTS")
+            if_not_exists = True
+        table = self.expect_ident()
+        self.expect(TokenType.OP, "(")
+        columns = []
+        while True:
+            name = self.expect_ident()
+            affinity = self.accept_keyword("INTEGER", "REAL", "TEXT")
+            if affinity is None:
+                raise SqlSyntaxError(
+                    f"column {name!r} needs a type (INTEGER/REAL/TEXT)"
+                )
+            primary = False
+            if self.accept(TokenType.KEYWORD, "PRIMARY"):
+                self.expect(TokenType.KEYWORD, "KEY")
+                primary = True
+            columns.append(ast.ColumnDef(name=name, affinity=affinity,
+                                         primary_key=primary))
+            if not self.accept(TokenType.OP, ","):
+                break
+        self.expect(TokenType.OP, ")")
+        if sum(1 for col in columns if col.primary_key) > 1:
+            raise SqlSyntaxError("at most one PRIMARY KEY column")
+        return ast.CreateTable(table=table, columns=tuple(columns),
+                               if_not_exists=if_not_exists)
+
+    def _create_index(self) -> ast.CreateIndex:
+        unique = bool(self.accept(TokenType.KEYWORD, "UNIQUE"))
+        self.expect(TokenType.KEYWORD, "INDEX")
+        index = self.expect_ident()
+        self.expect(TokenType.KEYWORD, "ON")
+        table = self.expect_ident()
+        self.expect(TokenType.OP, "(")
+        column = self.expect_ident()
+        self.expect(TokenType.OP, ")")
+        return ast.CreateIndex(index=index, table=table, column=column,
+                               unique=unique)
+
+    def _drop_table(self) -> ast.DropTable:
+        self.expect(TokenType.KEYWORD, "TABLE")
+        if_exists = False
+        if self.accept(TokenType.KEYWORD, "IF"):
+            self.expect(TokenType.KEYWORD, "EXISTS")
+            if_exists = True
+        return ast.DropTable(table=self.expect_ident(), if_exists=if_exists)
+
+    # -- DML --------------------------------------------------------------------
+
+    def _insert(self) -> ast.Insert:
+        self.expect(TokenType.KEYWORD, "INTO")
+        table = self.expect_ident()
+        columns = None
+        if self.accept(TokenType.OP, "("):
+            names = [self.expect_ident()]
+            while self.accept(TokenType.OP, ","):
+                names.append(self.expect_ident())
+            self.expect(TokenType.OP, ")")
+            columns = tuple(names)
+        self.expect(TokenType.KEYWORD, "VALUES")
+        rows = [self._value_tuple()]
+        while self.accept(TokenType.OP, ","):
+            rows.append(self._value_tuple())
+        return ast.Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def _value_tuple(self) -> tuple[Expression, ...]:
+        self.expect(TokenType.OP, "(")
+        values = [self.parse_expression()]
+        while self.accept(TokenType.OP, ","):
+            values.append(self.parse_expression())
+        self.expect(TokenType.OP, ")")
+        return tuple(values)
+
+    def _select(self) -> ast.Select:
+        distinct = bool(self.accept(TokenType.KEYWORD, "DISTINCT"))
+        items = [self._select_item()]
+        while self.accept(TokenType.OP, ","):
+            items.append(self._select_item())
+
+        table = alias = None
+        join = None
+        if self.accept(TokenType.KEYWORD, "FROM"):
+            table = self.expect_ident()
+            alias = self._maybe_alias()
+            if (self.accept(TokenType.KEYWORD, "JOIN")
+                    or (self.accept(TokenType.KEYWORD, "INNER")
+                        and self.expect(TokenType.KEYWORD, "JOIN"))):
+                join_table = self.expect_ident()
+                join_alias = self._maybe_alias()
+                self.expect(TokenType.KEYWORD, "ON")
+                join = ast.JoinClause(table=join_table, alias=join_alias,
+                                      on=self.parse_expression())
+
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expression()
+
+        group_by: tuple[Expression, ...] = ()
+        having = None
+        if self.accept(TokenType.KEYWORD, "GROUP"):
+            self.expect(TokenType.KEYWORD, "BY")
+            groups = [self.parse_expression()]
+            while self.accept(TokenType.OP, ","):
+                groups.append(self.parse_expression())
+            group_by = tuple(groups)
+            if self.accept(TokenType.KEYWORD, "HAVING"):
+                having = self.parse_expression()
+
+        order_by: list[ast.OrderItem] = []
+        if self.accept(TokenType.KEYWORD, "ORDER"):
+            self.expect(TokenType.KEYWORD, "BY")
+            while True:
+                expr = self.parse_expression()
+                descending = False
+                if self.accept(TokenType.KEYWORD, "DESC"):
+                    descending = True
+                else:
+                    self.accept(TokenType.KEYWORD, "ASC")
+                order_by.append(ast.OrderItem(expr=expr, descending=descending))
+                if not self.accept(TokenType.OP, ","):
+                    break
+
+        limit = None
+        if self.accept(TokenType.KEYWORD, "LIMIT"):
+            token = self.expect(TokenType.INTEGER)
+            limit = int(token.value)
+
+        return ast.Select(
+            items=tuple(items), table=table, alias=alias, join=join,
+            where=where, group_by=group_by, having=having,
+            order_by=tuple(order_by), limit=limit, distinct=distinct,
+        )
+
+    def _maybe_alias(self) -> str | None:
+        if self.accept(TokenType.KEYWORD, "AS"):
+            return self.expect_ident()
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value
+        return None
+
+    def _select_item(self) -> ast.SelectItem:
+        if self.accept(TokenType.OP, "*"):
+            return ast.SelectItem(expr=ast.Literal(None), star=True)
+        expr = self.parse_expression()
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self.expect_ident()
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _update(self) -> ast.Update:
+        table = self.expect_ident()
+        self.expect(TokenType.KEYWORD, "SET")
+        assignments = []
+        while True:
+            column = self.expect_ident()
+            self.expect(TokenType.OP, "=")
+            assignments.append((column, self.parse_expression()))
+            if not self.accept(TokenType.OP, ","):
+                break
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expression()
+        return ast.Update(table=table, assignments=tuple(assignments),
+                          where=where)
+
+    def _delete(self) -> ast.Delete:
+        self.expect(TokenType.KEYWORD, "FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_expression()
+        return ast.Delete(table=table, where=where)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self.accept(TokenType.KEYWORD, "OR"):
+            left = ast.BinaryOp(op="OR", left=left, right=self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self.accept(TokenType.KEYWORD, "AND"):
+            left = ast.BinaryOp(op="AND", left=left, right=self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self.accept(TokenType.KEYWORD, "NOT"):
+            return ast.UnaryOp(op="NOT", operand=self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        if self.accept(TokenType.KEYWORD, "IS"):
+            negated = bool(self.accept(TokenType.KEYWORD, "NOT"))
+            self.expect(TokenType.KEYWORD, "NULL")
+            return ast.IsNull(operand=left, negated=negated)
+        negated = bool(self.accept(TokenType.KEYWORD, "NOT"))
+        if self.accept(TokenType.KEYWORD, "LIKE"):
+            return ast.Like(operand=left, pattern=self._additive(),
+                            negated=negated)
+        if self.accept(TokenType.KEYWORD, "IN"):
+            self.expect(TokenType.OP, "(")
+            items = [self.parse_expression()]
+            while self.accept(TokenType.OP, ","):
+                items.append(self.parse_expression())
+            self.expect(TokenType.OP, ")")
+            return ast.InList(operand=left, items=tuple(items),
+                              negated=negated)
+        if self.accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._additive()
+            self.expect(TokenType.KEYWORD, "AND")
+            return ast.Between(operand=left, low=low, high=self._additive(),
+                               negated=negated)
+        if negated:
+            raise SqlSyntaxError(
+                "NOT here must be followed by LIKE, IN or BETWEEN"
+            )
+        for op in _COMPARISON_OPS:
+            if self.accept(TokenType.OP, op):
+                return ast.BinaryOp(op=op, left=left, right=self._additive())
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._term()
+        while True:
+            op_token = (self.accept(TokenType.OP, "+")
+                        or self.accept(TokenType.OP, "-")
+                        or self.accept(TokenType.OP, "||"))
+            if op_token is None:
+                return left
+            left = ast.BinaryOp(op=op_token.value, left=left, right=self._term())
+
+    def _term(self) -> Expression:
+        left = self._factor()
+        while True:
+            op_token = (self.accept(TokenType.OP, "*")
+                        or self.accept(TokenType.OP, "/")
+                        or self.accept(TokenType.OP, "%"))
+            if op_token is None:
+                return left
+            left = ast.BinaryOp(op=op_token.value, left=left,
+                                right=self._factor())
+
+    def _factor(self) -> Expression:
+        if self.accept(TokenType.OP, "-"):
+            return ast.UnaryOp(op="-", operand=self._factor())
+        if self.accept(TokenType.OP, "("):
+            expr = self.parse_expression()
+            self.expect(TokenType.OP, ")")
+            return expr
+        token = self.current
+        if token.type is TokenType.INTEGER:
+            self.advance()
+            return ast.Literal(int(token.value))
+        if token.type is TokenType.REAL:
+            self.advance()
+            return ast.Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.type is TokenType.IDENT:
+            name = self.advance().value
+            if name.upper() in _FUNCTIONS and self.accept(TokenType.OP, "("):
+                fn = name.upper()
+                if self.accept(TokenType.OP, "*"):
+                    self.expect(TokenType.OP, ")")
+                    if fn != "COUNT":
+                        raise SqlSyntaxError(f"{fn}(*) is not valid")
+                    return ast.FunctionCall(name=fn, argument=None)
+                argument = self.parse_expression()
+                self.expect(TokenType.OP, ")")
+                return ast.FunctionCall(name=fn, argument=argument)
+            if self.accept(TokenType.OP, "."):
+                column = self.expect_ident()
+                return ast.ColumnRef(name=column, table=name)
+            return ast.ColumnRef(name=name)
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement."""
+    parser = Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.finish()
+    return statement

@@ -1,0 +1,297 @@
+"""speedtest1-style DBMS stress suite.
+
+SQLite's ``speedtest1.c`` runs a numbered series of tests ("100 —
+50000 INSERTs into table with no index", "142 — ...") scaled by a
+relative size knob (default 100).  This module mirrors the structure
+with a representative test mix over the mini engine:
+
+===  =========================================================
+id   test
+===  =========================================================
+100  INSERTs into table with no index (autocommit)
+110  batched INSERTs into table with no index (one transaction)
+120  batched INSERTs into table with an index
+130  SELECTs with WHERE on an unindexed column (full scans)
+140  SELECTs with WHERE on an indexed column
+142  SELECTs with LIKE on a text column (full scans)
+145  SELECTs with aggregate + GROUP BY
+150  CREATE INDEX on a populated table
+160  UPDATEs via the index
+170  UPDATEs via full scans
+180  two-table JOIN with an indexed inner column
+190  DELETEs via the index, then table DROP
+230  UPDATEs with BETWEEN ranges via the primary key
+240  SELECTs with ORDER BY on an unindexed column
+250  full-scan COUNT with an OR of predicates
+260  DISTINCT + GROUP BY with HAVING
+===  =========================================================
+
+Each test reports its virtual elapsed time when run under kernel
+hooks; the Fig. "DBMS" harness compares secure vs. normal per test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DbmsError
+from repro.workloads.dbms.engine import Database
+
+#: speedtest1's default relative test size.
+DEFAULT_SIZE = 100
+
+
+@dataclass(frozen=True)
+class SpeedtestResult:
+    """Outcome of one numbered test."""
+
+    test_id: int
+    name: str
+    statements: int
+    rows_out: int
+    elapsed_ns: float
+
+
+def _names(i: int) -> str:
+    consonants = "bcdfghjklmnpqrstvwz"
+    vowels = "aeiou"
+    return "".join(
+        consonants[(i // (5 ** k)) % len(consonants)] + vowels[(i // (3 ** k)) % 5]
+        for k in range(3)
+    )
+
+
+class Speedtest:
+    """Runs the numbered test mix against one database."""
+
+    def __init__(self, db: Database, size: int = DEFAULT_SIZE,
+                 clock: Callable[[], float] | None = None) -> None:
+        if size < 1:
+            raise DbmsError(f"size must be >= 1, got {size}")
+        self.db = db
+        self.size = size
+        self.n = size * 5          # base row count, speedtest1-style scaling
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.results: list[SpeedtestResult] = []
+
+    def _run(self, test_id: int, name: str, body: Callable[[], tuple[int, int]]) -> None:
+        start = self._clock()
+        statements, rows = body()
+        self.results.append(SpeedtestResult(
+            test_id=test_id,
+            name=name,
+            statements=statements,
+            rows_out=rows,
+            elapsed_ns=self._clock() - start,
+        ))
+
+    # -- the tests -------------------------------------------------------
+
+    def test_100_inserts_no_index(self) -> None:
+        def body():
+            self.db.execute(
+                "CREATE TABLE t1 (a INTEGER, b INTEGER, c TEXT)"
+            )
+            for i in range(self.n):
+                self.db.execute(
+                    f"INSERT INTO t1 VALUES ({i}, {(i * 7919) % self.n}, "
+                    f"'{_names(i)}')"
+                )
+            return self.n + 1, 0
+        self._run(100, f"{self.n} INSERTs into table with no index", body)
+
+    def test_110_batched_inserts(self) -> None:
+        def body():
+            self.db.execute("CREATE TABLE t2 (a INTEGER, b INTEGER, c TEXT)")
+            self.db.execute("BEGIN")
+            for i in range(self.n):
+                self.db.execute(
+                    f"INSERT INTO t2 VALUES ({i}, {(i * 104729) % self.n}, "
+                    f"'{_names(i)}')"
+                )
+            self.db.execute("COMMIT")
+            return self.n + 3, 0
+        self._run(110, f"{self.n} batched INSERTs (one transaction)", body)
+
+    def test_120_inserts_with_index(self) -> None:
+        def body():
+            self.db.execute(
+                "CREATE TABLE t3 (a INTEGER PRIMARY KEY, b INTEGER, c TEXT)"
+            )
+            self.db.execute("CREATE INDEX t3b ON t3 (b)")
+            self.db.execute("BEGIN")
+            for i in range(self.n):
+                self.db.execute(
+                    f"INSERT INTO t3 VALUES ({i}, {(i * 31) % self.n}, "
+                    f"'{_names(i)}')"
+                )
+            self.db.execute("COMMIT")
+            return self.n + 4, 0
+        self._run(120, f"{self.n} INSERTs into indexed table", body)
+
+    def test_130_selects_unindexed(self) -> None:
+        queries = max(1, self.size // 4)
+
+        def body():
+            rows = 0
+            for q in range(queries):
+                low = (q * 17) % self.n
+                result = self.db.execute(
+                    f"SELECT COUNT(*), AVG(b) FROM t1 "
+                    f"WHERE b > {low} AND b < {low + self.n // 10}"
+                )
+                rows += result.rowcount
+            return queries, rows
+        self._run(130, f"{queries} SELECTs on unindexed column (scans)", body)
+
+    def test_140_selects_indexed(self) -> None:
+        queries = self.size
+
+        def body():
+            rows = 0
+            for q in range(queries):
+                rows += self.db.execute(
+                    f"SELECT a, c FROM t3 WHERE b = {(q * 13) % self.n}"
+                ).rowcount
+            return queries, rows
+        self._run(140, f"{queries} SELECTs via index", body)
+
+    def test_145_group_by(self) -> None:
+        def body():
+            result = self.db.execute(
+                "SELECT b % 10 AS bucket, COUNT(*), SUM(a) FROM t1 "
+                "GROUP BY b % 10 ORDER BY bucket"
+            )
+            return 1, result.rowcount
+        self._run(145, "aggregate with GROUP BY over full table", body)
+
+    def test_150_create_index(self) -> None:
+        def body():
+            self.db.execute("CREATE INDEX t1b ON t1 (b)")
+            return 1, 0
+        self._run(150, "CREATE INDEX on populated table", body)
+
+    def test_160_updates_indexed(self) -> None:
+        updates = self.size
+
+        def body():
+            for u in range(updates):
+                self.db.execute(
+                    f"UPDATE t3 SET c = 'upd{u}' WHERE b = {(u * 11) % self.n}"
+                )
+            return updates, 0
+        self._run(160, f"{updates} UPDATEs via index", body)
+
+    def test_170_updates_scan(self) -> None:
+        updates = max(1, self.size // 10)
+
+        def body():
+            for u in range(updates):
+                low = (u * 29) % self.n
+                self.db.execute(
+                    f"UPDATE t2 SET b = b + 1 "
+                    f"WHERE a >= {low} AND a < {low + self.n // 20}"
+                )
+            return updates, 0
+        self._run(170, f"{updates} UPDATEs via full scans", body)
+
+    def test_180_join(self) -> None:
+        def body():
+            result = self.db.execute(
+                "SELECT COUNT(*) FROM t1 JOIN t3 ON t1.a = t3.a "
+                "WHERE t1.b < " + str(self.n // 2)
+            )
+            return 1, result.rowcount
+        self._run(180, "two-table JOIN on indexed column", body)
+
+    def test_142_selects_like(self) -> None:
+        queries = max(1, self.size // 5)
+
+        def body():
+            rows = 0
+            for q in range(queries):
+                prefix = "bcdfghjklmnpqrstvwz"[q % 19]
+                rows += self.db.execute(
+                    f"SELECT COUNT(*) FROM t1 WHERE c LIKE '{prefix}%'"
+                ).rowcount
+            return queries, rows
+        self._run(142, f"{queries} SELECTs with LIKE (scans)", body)
+
+    def test_230_updates_between(self) -> None:
+        updates = max(1, self.size // 10)
+
+        def body():
+            for u in range(updates):
+                low = (u * 37) % self.n
+                self.db.execute(
+                    f"UPDATE t3 SET b = b + 1 WHERE a BETWEEN {low} "
+                    f"AND {low + self.n // 25}"
+                )
+            return updates, 0
+        self._run(230, f"{updates} UPDATEs with BETWEEN via primary key",
+                  body)
+
+    def test_240_order_by(self) -> None:
+        def body():
+            result = self.db.execute(
+                "SELECT a, c FROM t1 ORDER BY c, a DESC LIMIT 50"
+            )
+            return 1, result.rowcount
+        self._run(240, "ORDER BY on an unindexed text column", body)
+
+    def test_250_scan_count_or(self) -> None:
+        def body():
+            result = self.db.execute(
+                f"SELECT COUNT(*) FROM t1 WHERE b < {self.n // 10} "
+                f"OR b > {self.n - self.n // 10} OR c LIKE 'z%'"
+            )
+            return 1, result.rowcount
+        self._run(250, "full-scan COUNT with OR of predicates", body)
+
+    def test_260_distinct_having(self) -> None:
+        def body():
+            result = self.db.execute(
+                "SELECT DISTINCT b % 7, COUNT(*) FROM t1 GROUP BY b % 7 "
+                "HAVING COUNT(*) > 1 ORDER BY b % 7"
+            )
+            return 1, result.rowcount
+        self._run(260, "DISTINCT + GROUP BY with HAVING", body)
+
+    def test_190_deletes_and_drop(self) -> None:
+        deletes = self.size
+
+        def body():
+            for d in range(deletes):
+                self.db.execute(
+                    f"DELETE FROM t3 WHERE b = {(d * 7) % self.n}"
+                )
+            self.db.execute("DROP TABLE t2")
+            return deletes + 1, 0
+        self._run(190, f"{deletes} DELETEs via index + DROP TABLE", body)
+
+    def run_all(self) -> list[SpeedtestResult]:
+        """The full numbered sequence, in order."""
+        self.test_100_inserts_no_index()
+        self.test_110_batched_inserts()
+        self.test_120_inserts_with_index()
+        self.test_130_selects_unindexed()
+        self.test_140_selects_indexed()
+        self.test_142_selects_like()
+        self.test_145_group_by()
+        self.test_150_create_index()
+        self.test_160_updates_indexed()
+        self.test_170_updates_scan()
+        self.test_180_join()
+        self.test_230_updates_between()
+        self.test_240_order_by()
+        self.test_250_scan_count_or()
+        self.test_260_distinct_having()
+        self.test_190_deletes_and_drop()
+        return self.results
+
+
+def run_speedtest(db: Database, size: int = DEFAULT_SIZE,
+                  clock: Callable[[], float] | None = None) -> list[SpeedtestResult]:
+    """Run the whole suite against ``db`` and return per-test results."""
+    return Speedtest(db, size=size, clock=clock).run_all()

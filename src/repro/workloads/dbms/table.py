@@ -1,0 +1,213 @@
+"""Table storage: rows in a B+tree, secondary indexes, page mapping.
+
+A table keeps its rows in a rowid-keyed B+tree (SQLite-style) and
+maintains one B+tree per index keyed by ``(sort_key(value), rowid)``.
+All mutations funnel through :meth:`Table.insert_row`,
+:meth:`Table.delete_row` and :meth:`Table.update_row`, which keep the
+indexes consistent and report page traffic to the pager — the same
+three primitives the transaction undo log replays in reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SqlExecutionError
+from repro.workloads.dbms.ast_nodes import ColumnDef
+from repro.workloads.dbms.btree import BPlusTree
+from repro.workloads.dbms.pager import PAGE_SIZE, Pager
+from repro.workloads.dbms.values import (
+    SqlValue,
+    apply_affinity,
+    row_payload_bytes,
+    sort_key,
+)
+
+
+@dataclass
+class Index:
+    """A secondary index over one column."""
+
+    name: str
+    column: str
+    unique: bool = False
+    tree: BPlusTree = field(default_factory=BPlusTree)
+
+    def key_for(self, value: SqlValue, rowid: int) -> tuple:
+        return (sort_key(value), rowid)
+
+
+class Table:
+    """One table: schema, row storage, indexes."""
+
+    def __init__(self, name: str, columns: tuple[ColumnDef, ...],
+                 pager: Pager, table_id: int) -> None:
+        if not columns:
+            raise SqlExecutionError(f"table {name!r} needs at least one column")
+        names = [col.name for col in columns]
+        if len(set(names)) != len(names):
+            raise SqlExecutionError(f"duplicate column names in {name!r}")
+        self.name = name
+        self.columns = columns
+        self.column_index = {col.name: i for i, col in enumerate(columns)}
+        self.rows = BPlusTree()
+        self.indexes: dict[str, Index] = {}
+        self.next_rowid = 1
+        self.pager = pager
+        self.table_id = table_id
+        self._row_bytes_estimate = 64
+        primary = [col for col in columns if col.primary_key]
+        if primary:
+            self.create_index(f"pk_{name}", primary[0].name, unique=True)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _page_of(self, rowid: int) -> int:
+        rows_per_page = max(1, PAGE_SIZE // self._row_bytes_estimate)
+        return self.table_id * 1_000_000 + rowid // rows_per_page
+
+    def coerce(self, raw: tuple[SqlValue, ...]) -> tuple[SqlValue, ...]:
+        """Apply column affinities to a full-width row."""
+        if len(raw) != len(self.columns):
+            raise SqlExecutionError(
+                f"table {self.name!r} has {len(self.columns)} columns, "
+                f"got {len(raw)} values"
+            )
+        return tuple(
+            apply_affinity(value, col.affinity)
+            for value, col in zip(raw, self.columns)
+        )
+
+    def value_of(self, row: tuple[SqlValue, ...], column: str) -> SqlValue:
+        try:
+            return row[self.column_index[column]]
+        except KeyError:
+            raise SqlExecutionError(
+                f"no column {column!r} in table {self.name!r}"
+            ) from None
+
+    # -- indexes ----------------------------------------------------------------
+
+    def create_index(self, name: str, column: str, unique: bool = False) -> Index:
+        """Build an index over existing rows."""
+        if column not in self.column_index:
+            raise SqlExecutionError(
+                f"no column {column!r} in table {self.name!r}"
+            )
+        if column in self.indexes:
+            raise SqlExecutionError(
+                f"column {column!r} of {self.name!r} is already indexed"
+            )
+        index = Index(name=name, column=column, unique=unique)
+        for rowid, row in self.rows.items():
+            self._index_insert(index, self.value_of(row, column), rowid)
+        self.indexes[column] = index
+        return index
+
+    def _index_insert(self, index: Index, value: SqlValue, rowid: int) -> None:
+        if value is None:
+            return   # NULLs are not indexed (and never violate UNIQUE)
+        if index.unique:
+            for _, existing in index.tree.range(
+                (sort_key(value), 0), (sort_key(value), 2 ** 62)
+            ):
+                raise SqlExecutionError(
+                    f"UNIQUE constraint failed: {self.name}.{index.column} "
+                    f"= {value!r} (row {existing})"
+                )
+        index.tree.insert(index.key_for(value, rowid), rowid)
+
+    def _index_delete(self, index: Index, value: SqlValue, rowid: int) -> None:
+        if value is None:
+            return
+        index.tree.delete(index.key_for(value, rowid))
+
+    # -- mutations ------------------------------------------------------------------
+
+    def insert_row(self, raw: tuple[SqlValue, ...],
+                   rowid: int | None = None) -> int:
+        """Insert a coerced row; returns its rowid."""
+        row = self.coerce(raw)
+        if rowid is None:
+            rowid = self.next_rowid
+        self.next_rowid = max(self.next_rowid, rowid + 1)
+        for index in self.indexes.values():
+            self._index_insert(index, self.value_of(row, index.column), rowid)
+        self.rows.insert(rowid, row)
+        self._row_bytes_estimate = max(16, row_payload_bytes(row))
+        self.pager.write(self._page_of(rowid))
+        return rowid
+
+    def delete_row(self, rowid: int) -> tuple[SqlValue, ...]:
+        """Delete by rowid; returns the removed row."""
+        row = self.rows.get(rowid)
+        if row is None:
+            raise SqlExecutionError(f"no row {rowid} in {self.name!r}")
+        for index in self.indexes.values():
+            self._index_delete(index, self.value_of(row, index.column), rowid)
+        self.rows.delete(rowid)
+        self.pager.write(self._page_of(rowid))
+        return row
+
+    def update_row(self, rowid: int,
+                   new_row: tuple[SqlValue, ...]) -> tuple[SqlValue, ...]:
+        """Replace a row in place; returns the old row."""
+        old = self.rows.get(rowid)
+        if old is None:
+            raise SqlExecutionError(f"no row {rowid} in {self.name!r}")
+        row = self.coerce(new_row)
+        for index in self.indexes.values():
+            old_value = self.value_of(old, index.column)
+            new_value = self.value_of(row, index.column)
+            if sort_key(old_value) != sort_key(new_value):
+                self._index_delete(index, old_value, rowid)
+                self._index_insert(index, new_value, rowid)
+        self.rows.insert(rowid, row, replace=True)
+        self.pager.write(self._page_of(rowid))
+        return old
+
+    # -- reads -----------------------------------------------------------------------
+
+    def scan(self):
+        """All (rowid, row) pairs, charging page reads."""
+        last_page = None
+        for rowid, row in self.rows.items():
+            page = self._page_of(rowid)
+            if page != last_page:
+                self.pager.read(page)
+                last_page = page
+            yield rowid, row
+
+    def fetch(self, rowid: int) -> tuple[SqlValue, ...] | None:
+        """One row by rowid, charging a page read."""
+        row = self.rows.get(rowid)
+        if row is not None:
+            self.pager.read(self._page_of(rowid))
+        return row
+
+    def index_lookup(self, column: str, value: SqlValue):
+        """(rowid, row) pairs where ``column == value`` via the index."""
+        index = self.indexes[column]
+        low = (sort_key(value), 0)
+        high = (sort_key(value), 2 ** 62)
+        for _, rowid in index.tree.range(low, high):
+            row = self.fetch(rowid)
+            if row is not None:
+                yield rowid, row
+
+    def index_range(self, column: str, low: SqlValue | None,
+                    high: SqlValue | None, include_low: bool = True,
+                    include_high: bool = True):
+        """(rowid, row) pairs with the column in [low, high]."""
+        index = self.indexes[column]
+        low_key = None if low is None else (sort_key(low), 0 if include_low else 2 ** 62)
+        high_key = None if high is None else (sort_key(high), 2 ** 62 if include_high else 0)
+        for _, rowid in index.tree.range(low_key, high_key,
+                                         include_low=include_low,
+                                         include_high=include_high):
+            row = self.fetch(rowid)
+            if row is not None:
+                yield rowid, row
+
+    def row_count(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,116 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.
+Handles keywords (case-insensitive), identifiers, integer/real
+literals, single-quoted strings with ``''`` escaping, and the
+operator set the engine's SQL subset needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "INDEX", "DROP", "ON", "JOIN", "INNER",
+    "AND", "OR", "NOT", "NULL", "PRIMARY", "KEY", "ORDER", "BY", "GROUP",
+    "LIMIT", "ASC", "DESC", "AS", "INTEGER", "REAL", "TEXT", "BEGIN",
+    "COMMIT", "ROLLBACK", "IS", "DISTINCT", "UNIQUE", "IF", "EXISTS",
+    "LIKE", "IN", "BETWEEN", "HAVING",
+})
+
+_TWO_CHAR_OPS = ("<=", ">=", "!=", "<>", "||")
+_ONE_CHAR_OPS = "()+-*/%,=<>.;"
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INTEGER = "integer"
+    REAL = "real"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, type_: TokenType, value: str | None = None) -> bool:
+        if self.type is not type_:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a statement; raises :class:`SqlSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        start = i
+        if ch.isalpha() or ch == "_":
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            seen_dot = False
+            while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+                if sql[i] == ".":
+                    seen_dot = True
+                i += 1
+            text = sql[start:i]
+            if seen_dot:
+                tokens.append(Token(TokenType.REAL, text, start))
+            else:
+                tokens.append(Token(TokenType.INTEGER, text, start))
+            continue
+        if ch == "'":
+            i += 1
+            chunks = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError(f"unterminated string at {start}")
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(sql[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            continue
+        two = sql[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(TokenType.OP, "!=" if two == "<>" else two, start))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TokenType.OP, ch, start))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

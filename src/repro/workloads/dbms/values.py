@@ -1,0 +1,128 @@
+"""SQL value semantics.
+
+Values are plain Python objects (``None``, ``int``, ``float``,
+``str``); this module centralises the SQL-flavoured rules: NULL
+propagation in comparisons and arithmetic, type affinity on insert,
+and a total sort order (NULL < numbers < text) used by ORDER BY and
+index keys — the same ordering SQLite uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SqlExecutionError
+
+SqlValue = None | int | float | str
+
+AFFINITIES = ("INTEGER", "REAL", "TEXT")
+
+
+def apply_affinity(value: SqlValue, affinity: str) -> SqlValue:
+    """Coerce an inserted value to the column's declared type."""
+    if value is None:
+        return None
+    if affinity == "INTEGER":
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise SqlExecutionError(f"cannot store {value!r} in INTEGER column") from None
+    if affinity == "REAL":
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise SqlExecutionError(f"cannot store {value!r} in REAL column") from None
+    if affinity == "TEXT":
+        return str(value)
+    raise SqlExecutionError(f"unknown affinity {affinity!r}")
+
+
+def _type_rank(value: SqlValue) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, bool):          # guard: bools are ints in Python
+        return 1
+    if isinstance(value, (int, float)):
+        return 1
+    return 2
+
+
+def sort_key(value: SqlValue) -> tuple[int, Any]:
+    """A total-order key: NULL < numeric < text."""
+    rank = _type_rank(value)
+    if rank == 0:
+        return (0, 0)
+    return (rank, value)
+
+
+def compare(left: SqlValue, right: SqlValue) -> int | None:
+    """Three-way compare with SQL NULL semantics.
+
+    Returns -1/0/1, or ``None`` when either side is NULL (comparisons
+    with NULL are neither true nor false).
+    """
+    if left is None or right is None:
+        return None
+    lk, rk = sort_key(left), sort_key(right)
+    if lk < rk:
+        return -1
+    if lk > rk:
+        return 1
+    return 0
+
+
+def is_truthy(value: SqlValue) -> bool:
+    """SQL WHERE truthiness: NULL and 0 are not true."""
+    if value is None:
+        return False
+    if isinstance(value, str):
+        return bool(value)
+    return value != 0
+
+
+def arithmetic(op: str, left: SqlValue, right: SqlValue) -> SqlValue:
+    """NULL-propagating arithmetic."""
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                raise SqlExecutionError("cannot add text values (use ||)")
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None          # SQLite yields NULL on division by zero
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left / right)
+            return result
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+        if op == "||":
+            return f"{left}{right}"
+    except TypeError:
+        raise SqlExecutionError(
+            f"type error: {left!r} {op} {right!r}"
+        ) from None
+    raise SqlExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def row_payload_bytes(row: tuple[SqlValue, ...]) -> int:
+    """Approximate on-disk size of a row (for pager accounting)."""
+    total = 8   # header
+    for value in row:
+        if value is None:
+            total += 1
+        elif isinstance(value, int):
+            total += 8
+        elif isinstance(value, float):
+            total += 8
+        else:
+            total += 2 + len(str(value).encode())
+    return total

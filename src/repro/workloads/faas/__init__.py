@@ -1,0 +1,19 @@
+"""The FaaS workload suite (25 paper workloads + extras)."""
+
+from repro.workloads.faas.registry import (
+    FIGURE_WORKLOAD_NAMES,
+    all_workloads,
+    figure_workloads,
+    register_workload,
+    unregister_workload,
+    workload_by_name,
+)
+
+__all__ = [
+    "FIGURE_WORKLOAD_NAMES",
+    "all_workloads",
+    "figure_workloads",
+    "register_workload",
+    "unregister_workload",
+    "workload_by_name",
+]

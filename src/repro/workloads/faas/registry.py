@@ -1,0 +1,73 @@
+"""FaaS workload registry.
+
+The paper reports results for 25 distinct workloads; that set is
+:data:`FIGURE_WORKLOAD_NAMES` (used by the Fig. 6/7/8 harnesses).  A
+26th workload (``juliaset``) ships as an extra to demonstrate
+registry extensibility.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.base import FaasWorkload
+from repro.workloads.faas.compute import COMPUTE_WORKLOADS
+from repro.workloads.faas.io_mixed import IO_MIXED_WORKLOADS
+from repro.workloads.faas.memory import MEMORY_WORKLOADS
+
+_ALL: dict[str, FaasWorkload] = {
+    workload.name: workload
+    for workload in (*COMPUTE_WORKLOADS, *MEMORY_WORKLOADS, *IO_MIXED_WORKLOADS)
+}
+
+#: The paper's 25-workload set, ordered for the heatmap figures.
+FIGURE_WORKLOAD_NAMES: tuple[str, ...] = (
+    # cpu
+    "cpustress", "factors", "ack", "fibonacci", "primes",
+    "mandelbrot", "nbody", "spectralnorm", "fannkuch", "matrix",
+    # memory
+    "memstress", "binarytrees", "sort", "stringconcat", "wordcount",
+    "jsonserde",
+    # io / mixed
+    "iostress", "logging", "filesystem", "base64", "checksum",
+    "compression", "shahash", "graphbfs", "htmlrender",
+)
+
+
+def workload_by_name(name: str) -> FaasWorkload:
+    """Look up a registered workload.
+
+    Raises
+    ------
+    UnknownWorkloadError
+        If no workload with that name exists.
+    """
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(_ALL))}"
+        ) from None
+
+
+def all_workloads() -> list[FaasWorkload]:
+    """Every registered workload (including extras), sorted by name."""
+    return [_ALL[name] for name in sorted(_ALL)]
+
+
+def figure_workloads() -> list[FaasWorkload]:
+    """The paper's 25 workloads in figure order."""
+    return [_ALL[name] for name in FIGURE_WORKLOAD_NAMES]
+
+
+def register_workload(workload: FaasWorkload) -> None:
+    """Add a user-supplied workload (duplicates rejected)."""
+    if workload.name in _ALL:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _ALL[workload.name] = workload
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a user-supplied workload (built-ins protected)."""
+    if name in FIGURE_WORKLOAD_NAMES or name == "juliaset":
+        raise ValueError(f"refusing to unregister built-in workload {name!r}")
+    _ALL.pop(name, None)

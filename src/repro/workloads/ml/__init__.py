@@ -1,0 +1,26 @@
+"""Confidential ML inference workload.
+
+Reproduces the paper's §IV-C "Confidential ML" experiment: a
+MobileNet-style model (depthwise-separable CNN, per the TFLite
+label_image example) classifying a dataset of 40 one-megabyte images
+(per the GuaranTEE setup the paper replicates).
+
+The substitution: instead of TensorFlow Lite, the model is a real
+numpy forward pass (:mod:`repro.workloads.ml.mobilenet`) over
+synthetic images (:mod:`repro.workloads.ml.dataset`); compute cost is
+charged through the VM's execution context proportional to the actual
+multiply-accumulate count.
+"""
+
+from repro.workloads.ml.mobilenet import MobileNetLite
+from repro.workloads.ml.dataset import ImageDataset, generate_dataset
+from repro.workloads.ml.inference import InferenceResult, classify_image, run_inference_workload
+
+__all__ = [
+    "MobileNetLite",
+    "ImageDataset",
+    "generate_dataset",
+    "InferenceResult",
+    "classify_image",
+    "run_inference_workload",
+]

@@ -1,0 +1,128 @@
+"""Tensor operations for the CNN, with MAC accounting.
+
+A tiny inference-only op set: standard convolution, depthwise
+convolution, pointwise (1x1) convolution, ReLU6, global average
+pooling, dense, softmax.  Every op returns its output *and* the
+multiply-accumulate count so the cost model can charge the VM
+context for exactly the arithmetic performed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def conv2d(x: np.ndarray, weights: np.ndarray, stride: int = 1) -> tuple[np.ndarray, int]:
+    """Standard convolution (NHWC-free: single image HWC).
+
+    Parameters
+    ----------
+    x:
+        Input of shape (H, W, C_in).
+    weights:
+        Kernel of shape (K, K, C_in, C_out).
+    stride:
+        Spatial stride.
+
+    Returns
+    -------
+    (output, macs):
+        Output of shape (H', W', C_out) and the MAC count.
+    """
+    if x.ndim != 3 or weights.ndim != 4:
+        raise WorkloadError(
+            f"conv2d expects (H,W,C) and (K,K,Cin,Cout); got {x.shape}, {weights.shape}"
+        )
+    k = weights.shape[0]
+    c_in, c_out = weights.shape[2], weights.shape[3]
+    if x.shape[2] != c_in:
+        raise WorkloadError(f"channel mismatch: input {x.shape[2]}, kernel {c_in}")
+    h_out = (x.shape[0] - k) // stride + 1
+    w_out = (x.shape[1] - k) // stride + 1
+    if h_out <= 0 or w_out <= 0:
+        raise WorkloadError(f"kernel {k} too large for input {x.shape}")
+
+    # im2col: gather (h_out*w_out, k*k*c_in) patches, one matmul.
+    patches = np.empty((h_out * w_out, k * k * c_in), dtype=x.dtype)
+    index = 0
+    for i in range(h_out):
+        for j in range(w_out):
+            patch = x[i * stride:i * stride + k, j * stride:j * stride + k, :]
+            patches[index] = patch.reshape(-1)
+            index += 1
+    flat_weights = weights.reshape(k * k * c_in, c_out)
+    out = patches @ flat_weights
+    macs = h_out * w_out * k * k * c_in * c_out
+    return out.reshape(h_out, w_out, c_out), macs
+
+
+def depthwise_conv2d(x: np.ndarray, weights: np.ndarray,
+                     stride: int = 1) -> tuple[np.ndarray, int]:
+    """Depthwise convolution: one K×K filter per input channel.
+
+    ``weights`` has shape (K, K, C).
+    """
+    if x.ndim != 3 or weights.ndim != 3:
+        raise WorkloadError(
+            f"depthwise expects (H,W,C) and (K,K,C); got {x.shape}, {weights.shape}"
+        )
+    k = weights.shape[0]
+    channels = weights.shape[2]
+    if x.shape[2] != channels:
+        raise WorkloadError(f"channel mismatch: {x.shape[2]} vs {channels}")
+    h_out = (x.shape[0] - k) // stride + 1
+    w_out = (x.shape[1] - k) // stride + 1
+    if h_out <= 0 or w_out <= 0:
+        raise WorkloadError(f"kernel {k} too large for input {x.shape}")
+    out = np.zeros((h_out, w_out, channels), dtype=x.dtype)
+    for di in range(k):
+        for dj in range(k):
+            region = x[di:di + h_out * stride:stride,
+                       dj:dj + w_out * stride:stride, :]
+            out += region * weights[di, dj, :]
+    macs = h_out * w_out * k * k * channels
+    return out, macs
+
+
+def pointwise_conv2d(x: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, int]:
+    """1×1 convolution: a per-pixel channel mix; weights (C_in, C_out)."""
+    if x.ndim != 3 or weights.ndim != 2:
+        raise WorkloadError(
+            f"pointwise expects (H,W,C) and (Cin,Cout); got {x.shape}, {weights.shape}"
+        )
+    if x.shape[2] != weights.shape[0]:
+        raise WorkloadError(f"channel mismatch: {x.shape[2]} vs {weights.shape[0]}")
+    out = x @ weights
+    macs = x.shape[0] * x.shape[1] * weights.shape[0] * weights.shape[1]
+    return out, macs
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    """MobileNet's clipped activation."""
+    return np.clip(x, 0.0, 6.0)
+
+
+def global_avg_pool(x: np.ndarray) -> tuple[np.ndarray, int]:
+    """Average over the spatial dims: (H, W, C) -> (C,)."""
+    if x.ndim != 3:
+        raise WorkloadError(f"pool expects (H,W,C); got {x.shape}")
+    return x.mean(axis=(0, 1)), x.shape[0] * x.shape[1] * x.shape[2]
+
+
+def dense(x: np.ndarray, weights: np.ndarray,
+          bias: np.ndarray) -> tuple[np.ndarray, int]:
+    """Fully connected layer: (C,) @ (C, N) + (N,)."""
+    if x.ndim != 1 or weights.ndim != 2 or x.shape[0] != weights.shape[0]:
+        raise WorkloadError(
+            f"dense shape mismatch: x {x.shape}, weights {weights.shape}"
+        )
+    return x @ weights + bias, x.shape[0] * weights.shape[1]
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()

@@ -1,0 +1,31 @@
+"""Byte-UnixBench-style OS benchmark suite.
+
+Mirrors the paper's §IV-C "OS" experiment: low-level system
+benchmarks run single-threaded, each producing a loops-per-second
+score that is divided by the score of the reference system (UnixBench
+uses a SPARCstation 20-61 with Solaris 2.3) and multiplied by 10; the
+system index is the geometric mean of the per-test indexes.
+
+Tests (matching the classic suite's categories): Dhrystone-like
+integer workload, Whetstone-like floating point, syscall overhead,
+pipe throughput, pipe-based context switching, process creation,
+execl throughput, file copy at three buffer sizes, and shell-script
+style process pipelines — the mix the paper calls "very
+heterogeneous ... giving a good overview of the overall overhead at
+OS level".
+"""
+
+from repro.workloads.unixbench.suite import (
+    TestScore,
+    UnixBenchReport,
+    run_unixbench,
+)
+from repro.workloads.unixbench.index import BASELINE_SCORES, index_for
+
+__all__ = [
+    "TestScore",
+    "UnixBenchReport",
+    "run_unixbench",
+    "BASELINE_SCORES",
+    "index_for",
+]

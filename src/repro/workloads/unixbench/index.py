@@ -1,0 +1,51 @@
+"""UnixBench index scoring.
+
+The classic suite's baseline constants: the score the SPARCstation
+20-61 (128 MB RAM, SPARC Storage Array, Solaris 2.3) achieved.  A
+test's *index* is ``10 * score / baseline``; the system index is the
+geometric mean of the test indexes.  These baseline values are the
+ones shipped in Byte UnixBench's ``pgms/index.base``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WorkloadError
+
+#: test key -> (display name, baseline score, unit)
+BASELINE_SCORES: dict[str, tuple[str, float, str]] = {
+    "dhry2": ("Dhrystone 2 using register variables", 116_700.0, "lps"),
+    "whetstone": ("Double-Precision Whetstone", 55.0, "MWIPS"),
+    "execl": ("Execl Throughput", 43.0, "lps"),
+    "fscopy256": ("File Copy 256 bufsize 500 maxblocks", 1_655.0, "KBps"),
+    "fscopy1024": ("File Copy 1024 bufsize 2000 maxblocks", 3_960.0, "KBps"),
+    "fscopy4096": ("File Copy 4096 bufsize 8000 maxblocks", 5_800.0, "KBps"),
+    "pipe": ("Pipe Throughput", 12_440.0, "lps"),
+    "context1": ("Pipe-based Context Switching", 4_000.0, "lps"),
+    "spawn": ("Process Creation", 126.0, "lps"),
+    "shell1": ("Shell Scripts (1 concurrent)", 42.4, "lpm"),
+    "syscall": ("System Call Overhead", 15_000.0, "lps"),
+}
+
+
+def index_for(test_key: str, score: float) -> float:
+    """One test's index: ``10 * score / baseline``."""
+    try:
+        _, baseline, _ = BASELINE_SCORES[test_key]
+    except KeyError:
+        known = ", ".join(sorted(BASELINE_SCORES))
+        raise WorkloadError(f"unknown test {test_key!r}; known: {known}") from None
+    if score < 0:
+        raise WorkloadError(f"negative score for {test_key}: {score}")
+    return 10.0 * score / baseline
+
+
+def system_index(indexes: dict[str, float]) -> float:
+    """Geometric mean of per-test indexes (the aggregated figure)."""
+    if not indexes:
+        raise WorkloadError("no test indexes to aggregate")
+    if any(value <= 0 for value in indexes.values()):
+        raise WorkloadError("all indexes must be positive for a geometric mean")
+    log_sum = sum(math.log(value) for value in indexes.values())
+    return math.exp(log_sum / len(indexes))

@@ -1,0 +1,149 @@
+"""Property and failure-injection tests for the attestation stack."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attest import (
+    AmdKeyInfrastructure,
+    IntelPcs,
+    QuotingEnclave,
+    SnpVerifier,
+    TdxVerifier,
+    generate_snp_report,
+    generate_tdx_quote,
+)
+from repro.attest.certs import CertificateAuthority, verify_chain
+from repro.attest.crypto import generate_keypair
+from repro.errors import CertificateError, CrlError, QuoteVerificationError
+from repro.guestos.context import ExecContext
+from repro.hw.machine import epyc_9124, xeon_gold_5515
+from repro.sim.rng import SimRng
+from repro.tee.sevsnp import AmdSecureProcessor
+from repro.tee.tdx import TdxModule
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_keypair_roundtrip_any_seed(seed):
+    """Property: any seeded keypair signs and verifies."""
+    keypair = generate_keypair(SimRng(seed, "prop"), bits=768)
+    message = f"msg-{seed}".encode()
+    assert keypair.public.verify(message, keypair.sign(message))
+
+
+@settings(max_examples=6, deadline=None)
+@given(depth=st.integers(min_value=1, max_value=4))
+def test_chain_of_any_depth_verifies(depth):
+    """Property: a well-formed CA chain of any depth verifies."""
+    rng = SimRng(77, f"depth-{depth}")
+    root = CertificateAuthority("Root", rng)
+    current = root
+    intermediates = []
+    for level in range(depth):
+        current = CertificateAuthority(f"Int{level}", rng, issuer_ca=current)
+        intermediates.append(current)
+    leaf_key = generate_keypair(rng.child("leaf"))
+    leaf = current.issue("Leaf", leaf_key.public)
+    chain = [leaf] + [ca.certificate for ca in reversed(intermediates)]
+    verify_chain(chain, root.certificate)
+
+
+@settings(max_examples=6, deadline=None)
+@given(drop=st.integers(min_value=1, max_value=2))
+def test_chain_with_any_link_missing_fails(drop):
+    """Property: removing any *intermediate* link breaks a depth-3
+    chain (dropping the leaf just verifies a different subject)."""
+    rng = SimRng(78, "drop")
+    root = CertificateAuthority("Root", rng)
+    a = CertificateAuthority("A", rng, issuer_ca=root)
+    b = CertificateAuthority("B", rng, issuer_ca=a)
+    leaf_key = generate_keypair(rng.child("leaf"))
+    leaf = b.issue("Leaf", leaf_key.public)
+    chain = [leaf, b.certificate, a.certificate]
+    del chain[drop]
+    with pytest.raises(CertificateError):
+        verify_chain(chain, root.certificate)
+
+
+class TestFailureInjection:
+    """Inject faults into the full TDX/SNP flows and watch them fail
+    loudly (never silently verify)."""
+
+    @pytest.fixture(scope="class")
+    def tdx(self):
+        rng = SimRng(99, "fi-tdx")
+        pcs = IntelPcs(rng)
+        qe = QuotingEnclave(pcs, rng)
+        module = TdxModule()
+        ctx = ExecContext(machine=xeon_gold_5515(), rng=rng.child("gen"))
+        quote = generate_tdx_quote(module, qe, pcs, ctx, b"nonce")
+        return pcs, quote
+
+    def _ctx(self, seed=1):
+        return ExecContext(machine=xeon_gold_5515(),
+                           rng=SimRng(seed, "fi-ctx"))
+
+    def test_revoked_pck_certificate_rejected(self, tdx):
+        """Revoke the platform's PCK between attest and check."""
+        pcs, quote = tdx
+        pck_cert = quote.cert_chain[1]
+        pcs.pck_ca.revoke(pck_cert.serial)
+        try:
+            with pytest.raises(CrlError, match="revoked"):
+                TdxVerifier(pcs).verify(quote, self._ctx())
+        finally:
+            pcs.pck_ca._revoked.clear()   # undo for other tests
+
+    def test_swapped_attestation_key_rejected(self, tdx):
+        """Replace the AK cert with one for a different key."""
+        pcs, quote = tdx
+        rogue_key = generate_keypair(SimRng(5, "rogue"))
+        original_ak = quote.cert_chain[0]
+        rogue_ak = dataclasses.replace(original_ak,
+                                       public_key=rogue_key.public)
+        bad = dataclasses.replace(
+            quote, cert_chain=(rogue_ak, *quote.cert_chain[1:])
+        )
+        with pytest.raises((QuoteVerificationError, CertificateError)):
+            TdxVerifier(pcs).verify(bad, self._ctx())
+
+    def test_cross_platform_confusion_rejected(self):
+        """An SNP report cannot verify against a different chip's keys."""
+        rng = SimRng(101, "fi-snp")
+        keys_a = AmdKeyInfrastructure(rng, chip_id="chip-a")
+        keys_b = AmdKeyInfrastructure(rng.child("b"), chip_id="chip-a")
+        amd_sp = AmdSecureProcessor(chip_id="chip-a")
+        ctx = ExecContext(machine=epyc_9124(), rng=rng.child("gen"))
+        report = generate_snp_report(amd_sp, keys_a, ctx, b"n")
+        # keys_b has the same chip id but different key material
+        with pytest.raises(QuoteVerificationError):
+            SnpVerifier(keys_b).verify(
+                report,
+                ExecContext(machine=epyc_9124(), rng=rng.child("v")),
+            )
+
+    def test_verifier_with_wrong_trust_anchor_rejected(self, tdx):
+        """Pinning a rogue root makes every genuine quote fail."""
+        pcs, quote = tdx
+        rogue_root = CertificateAuthority("Intel SGX Root CA",
+                                          SimRng(7, "rogue-root"))
+        verifier = TdxVerifier(pcs, trusted_root=rogue_root.certificate)
+        with pytest.raises(CertificateError):
+            verifier.verify(quote, self._ctx())
+
+    def test_empty_signature_rejected(self, tdx):
+        pcs, quote = tdx
+        bad = dataclasses.replace(quote, signature=b"")
+        with pytest.raises(QuoteVerificationError):
+            TdxVerifier(pcs).verify(bad, self._ctx())
+
+    def test_verification_cost_charged_even_on_failure(self, tdx):
+        """Failed verifications still paid for their collateral."""
+        pcs, quote = tdx
+        ctx = self._ctx()
+        bad = dataclasses.replace(quote, signature=b"")
+        with pytest.raises(QuoteVerificationError):
+            TdxVerifier(pcs).verify(bad, ctx)
+        assert ctx.ledger.total() > 0

@@ -1,0 +1,123 @@
+"""Tests for the CCA realm-token path (FVP today, hardware later)."""
+
+import dataclasses
+
+import pytest
+
+from repro.attest.cca_token import (
+    RealmToken,
+    RealmTokenVerifier,
+    request_realm_token,
+)
+from repro.attest.crypto import generate_keypair
+from repro.errors import QuoteVerificationError, TeeUnsupportedError
+from repro.guestos.context import ExecContext
+from repro.hw.machine import fvp_model
+from repro.sim.rng import SimRng
+from repro.tee.cca import RealmManagementMonitor
+
+
+@pytest.fixture
+def realm_world():
+    rmm = RealmManagementMonitor()
+    realm, _ = rmm.rmi_realm_create("guest-realm")
+    rmm.rmi_realm_activate(realm.rid)
+    return rmm, realm
+
+
+def make_ctx(seed=1):
+    return ExecContext(machine=fvp_model(), rng=SimRng(seed, "cca-token"))
+
+
+@pytest.fixture
+def cpak():
+    return generate_keypair(SimRng(33, "cpak"))
+
+
+class TestFvpPath:
+    """What works today: unsigned tokens, structural checks only."""
+
+    def test_token_unsigned_on_fvp(self, realm_world):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"challenge")
+        assert not token.signed
+        assert token.signature == b""
+
+    def test_structural_checks_pass_but_crypto_unsupported(self, realm_world):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"challenge")
+        verifier = RealmTokenVerifier(expected_rim=realm.measurement)
+        with pytest.raises(TeeUnsupportedError, match="FVP"):
+            verifier.verify(token, make_ctx(2), b"challenge")
+
+    def test_wrong_measurement_rejected_before_signature(self, realm_world):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"c")
+        verifier = RealmTokenVerifier(expected_rim=b"\x00" * 48)
+        with pytest.raises(QuoteVerificationError, match="measurement"):
+            verifier.verify(token, make_ctx(2), b"c")
+
+    def test_wrong_challenge_rejected(self, realm_world):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"alpha")
+        verifier = RealmTokenVerifier(expected_rim=realm.measurement)
+        with pytest.raises(QuoteVerificationError, match="challenge"):
+            verifier.verify(token, make_ctx(2), b"beta")
+
+    def test_request_charges_rsi_transition(self, realm_world):
+        rmm, realm = realm_world
+        ctx = make_ctx()
+        request_realm_token(rmm, realm, ctx, b"c")
+        assert ctx.machine.counters.vm_transitions == 1
+
+
+class TestHardwarePath:
+    """The future flow: a CPAK signs, the owner verifies fully."""
+
+    def test_signed_token_verifies(self, realm_world, cpak):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"nonce",
+                                    cpak=cpak)
+        assert token.signed
+        verifier = RealmTokenVerifier(expected_rim=realm.measurement,
+                                      cpak_public=cpak.public)
+        assert verifier.verify(token, make_ctx(2), b"nonce")
+
+    def test_tampered_measurement_rejected(self, realm_world, cpak):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"n", cpak=cpak)
+        bad = dataclasses.replace(
+            token, realm_initial_measurement_hex="00" * 48
+        )
+        verifier = RealmTokenVerifier(expected_rim=realm.measurement,
+                                      cpak_public=cpak.public)
+        with pytest.raises(QuoteVerificationError):
+            verifier.verify(bad, make_ctx(2), b"n")
+
+    def test_forged_signature_rejected(self, realm_world, cpak):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"n", cpak=cpak)
+        forged = dataclasses.replace(
+            token, signature=bytes(len(token.signature))
+        )
+        verifier = RealmTokenVerifier(expected_rim=realm.measurement,
+                                      cpak_public=cpak.public)
+        with pytest.raises(QuoteVerificationError, match="signature"):
+            verifier.verify(forged, make_ctx(2), b"n")
+
+    def test_signed_token_without_pinned_cpak_unsupported(self, realm_world,
+                                                          cpak):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"n", cpak=cpak)
+        verifier = RealmTokenVerifier(expected_rim=realm.measurement)
+        with pytest.raises(TeeUnsupportedError, match="CPAK"):
+            verifier.verify(token, make_ctx(2), b"n")
+
+    def test_wrong_cpak_rejected(self, realm_world, cpak):
+        rmm, realm = realm_world
+        token = request_realm_token(rmm, realm, make_ctx(), b"n", cpak=cpak)
+        other = generate_keypair(SimRng(44, "other-cpak"))
+        verifier = RealmTokenVerifier(expected_rim=realm.measurement,
+                                      cpak_public=other.public)
+        with pytest.raises(QuoteVerificationError):
+            verifier.verify(token, make_ctx(2), b"n")

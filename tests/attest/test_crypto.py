@@ -1,0 +1,122 @@
+"""Tests for the pure-Python RSA implementation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attest.crypto import (
+    RsaPublicKey,
+    _is_probable_prime,
+    _generate_prime,
+    generate_keypair,
+)
+from repro.errors import AttestationError
+from repro.sim.rng import SimRng
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(SimRng(42, "crypto-tests"), bits=1024)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        rng = SimRng(1)
+        for p in (2, 3, 5, 7, 104729, 2**31 - 1):
+            assert _is_probable_prime(p, rng), p
+
+    def test_known_composites(self):
+        rng = SimRng(1)
+        for c in (0, 1, 4, 9, 561, 104730, 2**32):
+            assert not _is_probable_prime(c, rng), c
+
+    def test_carmichael_numbers_rejected(self):
+        rng = SimRng(1)
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not _is_probable_prime(carmichael, rng), carmichael
+
+    def test_generated_prime_has_exact_bits(self):
+        prime = _generate_prime(128, SimRng(2))
+        assert prime.bit_length() == 128
+        assert prime % 2 == 1
+
+    def test_tiny_prime_size_rejected(self):
+        with pytest.raises(AttestationError):
+            _generate_prime(4, SimRng(1))
+
+
+class TestKeyGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate_keypair(SimRng(7, "x"), bits=768)
+        b = generate_keypair(SimRng(7, "x"), bits=768)
+        assert a.public.n == b.public.n
+        assert a.d == b.d
+
+    def test_different_seeds_different_keys(self):
+        a = generate_keypair(SimRng(7, "x"), bits=768)
+        b = generate_keypair(SimRng(8, "x"), bits=768)
+        assert a.public.n != b.public.n
+
+    def test_modulus_size(self, keypair):
+        assert keypair.public.bits == 1024
+        assert keypair.public.byte_length == 128
+
+    def test_rejects_weak_keys(self):
+        with pytest.raises(AttestationError):
+            generate_keypair(SimRng(1), bits=256)
+
+    def test_fingerprint_stable_and_distinct(self):
+        a = generate_keypair(SimRng(1, "fp"), bits=768)
+        b = generate_keypair(SimRng(2, "fp"), bits=768)
+        assert a.public.fingerprint() == a.public.fingerprint()
+        assert a.public.fingerprint() != b.public.fingerprint()
+
+
+class TestSignatures:
+    def test_sign_verify_round_trip(self, keypair):
+        message = b"attestation evidence"
+        signature = keypair.sign(message)
+        assert keypair.public.verify(message, signature)
+
+    def test_tampered_message_rejected(self, keypair):
+        signature = keypair.sign(b"original")
+        assert not keypair.public.verify(b"tampered", signature)
+
+    def test_tampered_signature_rejected(self, keypair):
+        signature = bytearray(keypair.sign(b"msg"))
+        signature[10] ^= 0xFF
+        assert not keypair.public.verify(b"msg", bytes(signature))
+
+    def test_wrong_key_rejected(self, keypair):
+        other = generate_keypair(SimRng(99, "other"), bits=1024)
+        signature = keypair.sign(b"msg")
+        assert not other.public.verify(b"msg", signature)
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        assert not keypair.public.verify(b"msg", b"short")
+
+    def test_signature_of_empty_message(self, keypair):
+        signature = keypair.sign(b"")
+        assert keypair.public.verify(b"", signature)
+
+    def test_oversized_signature_int_rejected(self, keypair):
+        too_big = (keypair.public.n + 1).to_bytes(
+            keypair.public.byte_length + 1, "big"
+        )[-keypair.public.byte_length:]
+        # construct a value >= n of correct byte length
+        value = keypair.public.n | (1 << (keypair.public.bits - 1))
+        raw = value.to_bytes(keypair.public.byte_length, "big")
+        assert not keypair.public.verify(b"msg", raw)
+        assert not keypair.public.verify(b"msg", too_big)
+
+    @settings(max_examples=15, deadline=None)
+    @given(message=st.binary(max_size=200))
+    def test_round_trip_property(self, keypair, message):
+        """Property: every signed message verifies with the right key."""
+        assert keypair.public.verify(message, keypair.sign(message))
+
+    def test_signatures_differ_across_messages(self, keypair):
+        assert keypair.sign(b"a") != keypair.sign(b"b")
+
+    def test_public_key_equality(self):
+        key = RsaPublicKey(n=91, e=5)
+        assert key == RsaPublicKey(n=91, e=5)

@@ -1,0 +1,155 @@
+"""Tests for the dispatch transport model and the result archive."""
+
+import pytest
+
+from repro.core.config import GatewayConfig, PlatformEntry
+from repro.core.dispatch import DispatchModel
+from repro.core.gateway import Gateway, InvocationRequest
+from repro.core.resultstore import ResultStore, compare_runs
+from repro.errors import GatewayError
+from repro.tee.registry import platform_by_name
+
+
+class TestDispatchModel:
+    def test_round_trip_positive(self):
+        model = DispatchModel()
+        assert model.round_trip_ns(platform_by_name("tdx")) > 0
+
+    def test_cca_pays_tap_tun_chain(self):
+        """§III-B: host<->FVP networking crosses extra hops."""
+        model = DispatchModel()
+        tdx = model.round_trip_ns(platform_by_name("tdx"))
+        cca = model.round_trip_ns(platform_by_name("cca"))
+        assert cca > tdx + 500_000   # the 2x2 tap/tun hops
+
+    def test_bigger_payload_costs_more(self):
+        model = DispatchModel()
+        platform = platform_by_name("tdx")
+        small = model.round_trip_ns(platform, request_bytes=1024,
+                                    response_bytes=1024)
+        large = model.round_trip_ns(platform, request_bytes=1 << 20,
+                                    response_bytes=1 << 20)
+        assert large > small
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(GatewayError):
+            DispatchModel().round_trip_ns(platform_by_name("tdx"),
+                                          request_bytes=-1)
+
+    def test_gateway_attaches_transport(self):
+        config = GatewayConfig(entries=[
+            PlatformEntry(platform="tdx", host="x", base_port=9100),
+        ], default_trials=1)
+        gateway = Gateway(config)
+        gateway.upload("factors")
+        record = gateway.invoke(InvocationRequest(
+            function="factors", language="lua", platform="tdx",
+        ))[0]
+        assert record.transport_ns > 0
+        assert record.to_dict()["transport_ns"] == record.transport_ns
+
+    def test_transport_excluded_from_elapsed(self):
+        """The figures report execution time, not dispatch time."""
+        config = GatewayConfig(entries=[
+            PlatformEntry(platform="tdx", host="x", base_port=9100),
+        ], default_trials=1)
+        gateway = Gateway(config)
+        gateway.upload("ack")
+        record = gateway.invoke(InvocationRequest(
+            function="ack", language="go", platform="tdx",
+            args={"m": 2, "n": 2},
+        ))[0]
+        # ack(2,2) is microseconds of work; transport is ~ms
+        assert record.transport_ns > record.elapsed_ns
+
+
+def _records(gateway, trials=2):
+    gateway.upload("factors")
+    secure = gateway.invoke(InvocationRequest(
+        function="factors", language="lua", platform="tdx",
+        secure=True, trials=trials,
+    ))
+    normal = gateway.invoke(InvocationRequest(
+        function="factors", language="lua", platform="tdx",
+        secure=False, trials=trials,
+    ))
+    return secure + normal
+
+
+@pytest.fixture
+def gateway():
+    config = GatewayConfig(entries=[
+        PlatformEntry(platform="tdx", host="x", base_port=9100),
+    ], default_trials=2)
+    return Gateway(config)
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, gateway, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        records = _records(gateway)
+        store.save("baseline", seed=0, records=records)
+        runs = store.load()
+        assert len(runs) == 1
+        assert runs[0].label == "baseline"
+        assert len(runs[0].records) == len(records)
+        assert runs[0].records[0].function == "factors"
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "nope.jsonl").load() == []
+
+    def test_save_empty_rejected(self, tmp_path):
+        with pytest.raises(GatewayError):
+            ResultStore(tmp_path / "x.jsonl").save("x", 0, [])
+
+    def test_multiple_runs_appended(self, gateway, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.save("a", seed=0, records=_records(gateway))
+        store.save("b", seed=1, records=_records(gateway))
+        runs = store.load()
+        assert [run.label for run in runs] == ["a", "b"]
+
+    def test_run_by_label(self, gateway, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.save("a", seed=0, records=_records(gateway))
+        assert store.run("a").seed == 0
+        with pytest.raises(GatewayError):
+            store.run("ghost")
+
+    def test_corrupt_file_is_loud(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(GatewayError):
+            ResultStore(path).load()
+
+    def test_record_before_run_is_loud(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "record", "function": "f", "language": null,'
+                        ' "platform": "tdx", "secure": true, "trial": 0,'
+                        ' "elapsed_ns": 1.0, "output": null, "perf": {}}\n')
+        with pytest.raises(GatewayError):
+            ResultStore(path).load()
+
+    def test_key_ratios(self, gateway, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.save("a", seed=0, records=_records(gateway, trials=4))
+        ratios = store.run("a").key_ratios()
+        assert ("factors", "lua", "tdx") in ratios
+        assert 0.7 < ratios[("factors", "lua", "tdx")] < 1.6
+
+    def test_compare_runs_drift(self, gateway, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.save("before", seed=0, records=_records(gateway, trials=4))
+        store.save("after", seed=0, records=_records(gateway, trials=4))
+        drift = compare_runs(store.run("before"), store.run("after"))
+        entry = drift[("factors", "lua", "tdx")]
+        assert set(entry) == {"before", "after", "drift_percent"}
+
+    def test_compare_disjoint_runs_rejected(self, gateway, tmp_path):
+        from repro.core.resultstore import ArchivedRun
+
+        a = ArchivedRun(label="a", seed=0, version="1",
+                        records=_records(gateway))
+        b = ArchivedRun(label="b", seed=0, version="1", records=[])
+        with pytest.raises(GatewayError):
+            compare_runs(a, b)

@@ -1,0 +1,213 @@
+"""Tests for the experiment harnesses — small grids, paper shapes."""
+
+import pytest
+
+from repro.experiments import (
+    run_dbms_table,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.report import (
+    render_box_plots,
+    render_heatmap,
+    render_log_bars,
+    render_percentile_stacks,
+    render_ratio_bars,
+    render_table,
+    shade_for_ratio,
+)
+
+SMALL_WORKLOADS = ("cpustress", "iostress", "memstress")
+SMALL_LANGS = ("python", "lua")
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(image_count=10, image_side=96, trials=2)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(workloads=SMALL_WORKLOADS, languages=SMALL_LANGS,
+                    trials=4)
+
+
+class TestFig3:
+    def test_covers_all_three_tees(self, fig3):
+        assert set(fig3.times) == {"tdx", "sev-snp", "cca"}
+
+    def test_each_series_has_samples_per_image(self, fig3):
+        for platform, series in fig3.times.items():
+            assert len(series["secure"]) == 10 * 2, platform
+
+    def test_percentiles_spread(self, fig3):
+        stack = fig3.stack("cca", "secure")
+        assert stack["min"] < stack["median"] < stack["max"]
+
+    def test_hw_tees_near_native(self, fig3):
+        for platform in ("tdx", "sev-snp"):
+            assert fig3.mean_ratio(platform) < 1.15, platform
+
+    def test_cca_larger_but_bounded(self, fig3):
+        """Paper: up to 1.33x slower."""
+        ratio = fig3.mean_ratio("cca")
+        assert 1.1 < ratio < 1.5
+
+    def test_render_contains_series(self, fig3):
+        text = fig3.render()
+        assert "tdx secure" in text and "median" in text
+
+
+class TestDbmsTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_dbms_table(size=10, trials=2)
+
+    def test_hw_tees_close_to_one(self, table):
+        for platform in ("tdx", "sev-snp"):
+            assert table.average_ratio(platform) < 1.25, platform
+
+    def test_cca_largest_overhead(self, table):
+        """Paper: CCA's overhead the largest, on average up to ~10x."""
+        assert table.average_ratio("cca") > 3.0
+        assert table.max_ratio("cca") > 6.0
+
+    def test_all_sixteen_tests_present(self, table):
+        assert len(table.test_names) == 16
+
+    def test_render_has_average_row(self, table):
+        assert "AVERAGE" in table.render()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return run_fig4(trials=4, scale=0.25)
+
+    def test_ordering(self, fig4):
+        ratios = fig4.index_ratios
+        assert ratios["tdx"] < ratios["sev-snp"] < ratios["cca"]
+
+    def test_larger_than_ml_and_dbms(self, fig4, fig3):
+        """§IV-C: UnixBench overheads exceed ML (and DBMS) overheads."""
+        for platform in ("tdx", "sev-snp"):
+            assert fig4.index_ratios[platform] > fig3.mean_ratio(platform)
+
+    def test_transitions_nonzero_on_tees(self, fig4):
+        assert fig4.transitions["tdx"] > 0
+
+    def test_render(self, fig4):
+        text = fig4.render()
+        assert "Fig. 4" in text and "context1" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_fig5(trials=3)
+
+    def test_snp_faster_both_phases(self, fig5):
+        lat = fig5.latencies_ns
+        assert lat["sev-snp attest"] < lat["tdx attest"] / 10
+        assert lat["sev-snp check"] < lat["tdx check"] / 10
+
+    def test_tdx_check_dominated_by_network(self, fig5):
+        assert fig5.tdx_check_network_fraction > 0.5
+
+    def test_render_mentions_log_scale(self, fig5):
+        assert "log scale" in fig5.render()
+
+
+class TestFig6:
+    def test_covers_both_hw_tees(self, fig6):
+        assert set(fig6.grids) == {"tdx", "sev-snp"}
+
+    def test_tdx_wins_cpu_sev_wins_io(self, fig6):
+        """The headline Fig. 6 asymmetry."""
+        for lang in SMALL_LANGS:
+            assert (fig6.ratio("tdx", lang, "cpustress")
+                    < fig6.ratio("sev-snp", lang, "cpustress")), lang
+            assert (fig6.ratio("sev-snp", lang, "iostress")
+                    < fig6.ratio("tdx", lang, "iostress")), lang
+
+    def test_heavy_runtime_hotter_on_cpu(self, fig6):
+        assert (fig6.ratio("tdx", "python", "cpustress")
+                > fig6.ratio("tdx", "lua", "cpustress"))
+
+    def test_render_shows_grid(self, fig6):
+        text = fig6.render()
+        assert "cpustress" in text and "python" in text
+
+
+class TestFig7AndFig8:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_fig7(workloads=SMALL_WORKLOADS, languages=SMALL_LANGS,
+                        trials=4)
+
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return run_fig8(workloads=SMALL_WORKLOADS, trials=8)
+
+    def test_cca_ratios_higher_overall(self, fig6, fig7):
+        cca_mean = sum(fig7.grids["cca"].values()) / len(fig7.grids["cca"])
+        tdx_mean = sum(fig6.grids["tdx"].values()) / len(fig6.grids["tdx"])
+        assert cca_mean > tdx_mean * 1.2
+
+    def test_fig8_secure_whiskers_longer(self, fig8):
+        """Paper: whisker length larger with confidential VMs."""
+        assert (fig8.mean_whisker_span("secure")
+                > fig8.mean_whisker_span("normal"))
+
+    def test_fig8_summaries_ordered(self, fig8):
+        summary = fig8.summary("cpustress", "secure")
+        assert (summary["whisker_low"] <= summary["q1"] <= summary["median"]
+                <= summary["q3"] <= summary["whisker_high"])
+
+    def test_fig8_render(self, fig8):
+        assert "whisker span" in fig8.render()
+
+
+class TestRenderers:
+    def test_shade_monotone(self):
+        shades = [shade_for_ratio(r) for r in (0.8, 1.0, 1.5, 2.5)]
+        ramp = " .:-=+*#%@"
+        positions = [ramp.index(s) for s in shades]
+        assert positions == sorted(positions)
+
+    def test_shade_nan(self):
+        assert shade_for_ratio(float("nan")) == "?"
+
+    def test_render_heatmap_contains_values(self):
+        text = render_heatmap("T", ["r"], ["c"], {("r", "c"): 1.23})
+        assert "1.23" in text
+
+    def test_render_percentile_stacks(self):
+        text = render_percentile_stacks("T", {"s": {
+            "min": 1e6, "p25": 2e6, "median": 3e6, "p95": 4e6, "max": 5e6,
+        }})
+        assert "3.000" in text
+
+    def test_render_log_bars(self):
+        text = render_log_bars("T", {"a": 1e6, "b": 1e9})
+        assert "log scale" in text
+        assert text.count("#") > 2
+
+    def test_render_ratio_bars_marks_baseline(self):
+        text = render_ratio_bars("T", {"x": 1.5})
+        assert "|" in text and "1.50x" in text
+
+    def test_render_box_plots(self):
+        text = render_box_plots("T", {"s": {
+            "whisker_low": 1e6, "q1": 2e6, "median": 3e6,
+            "q3": 4e6, "whisker_high": 5e6,
+        }})
+        assert "O" in text
+
+    def test_render_table_aligns(self):
+        text = render_table("T", ["a", "bb"], [[1, 2], [3, 4]])
+        assert "a" in text and "bb" in text

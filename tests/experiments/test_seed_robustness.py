@@ -1,0 +1,20 @@
+"""Seed robustness: the paper's findings hold across random seeds.
+
+The benches pin seed 1; this test re-runs the quick whole-evaluation
+at other seeds to confirm the calibration isn't a single-seed
+accident.  (Slow-ish: one quick evaluation per seed.)
+"""
+
+import pytest
+
+from repro.experiments.summary import run_evaluation
+
+
+@pytest.mark.parametrize("seed", [7, 2025])
+def test_all_findings_hold_at_seed(seed):
+    summary = run_evaluation(seed=seed, quick=True)
+    failing = [
+        f"{check.artifact}: {check.finding} ({check.detail})"
+        for check in summary.checks if not check.holds
+    ]
+    assert not failing, "\n".join(failing)

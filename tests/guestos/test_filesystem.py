@@ -1,0 +1,198 @@
+"""Tests for the in-memory filesystem."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FileSystemError
+from repro.guestos.filesystem import InMemoryFileSystem
+
+
+@pytest.fixture
+def fs():
+    return InMemoryFileSystem()
+
+
+class TestDirectories:
+    def test_root_exists(self, fs):
+        assert fs.exists("/")
+        assert fs.is_dir("/")
+
+    def test_mkdir_and_listdir(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        assert fs.listdir("/") == ["a"]
+        assert fs.listdir("/a") == ["b"]
+
+    def test_mkdir_requires_parent(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.mkdir("/missing/child")
+
+    def test_mkdir_duplicate_fails(self, fs):
+        fs.mkdir("/a")
+        with pytest.raises(FileSystemError):
+            fs.mkdir("/a")
+
+    def test_makedirs_creates_ancestors(self, fs):
+        fs.makedirs("/x/y/z")
+        assert fs.is_dir("/x/y/z")
+
+    def test_makedirs_idempotent(self, fs):
+        fs.makedirs("/x/y")
+        fs.makedirs("/x/y")
+        assert fs.is_dir("/x/y")
+
+    def test_makedirs_refuses_file_in_path(self, fs):
+        fs.create("/f")
+        with pytest.raises(FileSystemError):
+            fs.makedirs("/f/sub")
+
+    def test_rmdir_empty(self, fs):
+        fs.mkdir("/a")
+        fs.rmdir("/a")
+        assert not fs.exists("/a")
+
+    def test_rmdir_nonempty_fails(self, fs):
+        fs.makedirs("/a/b")
+        with pytest.raises(FileSystemError):
+            fs.rmdir("/a")
+
+    def test_rmdir_on_file_fails(self, fs):
+        fs.create("/f")
+        with pytest.raises(FileSystemError):
+            fs.rmdir("/f")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.mkdir("relative")
+
+
+class TestFiles:
+    def test_create_and_read_empty(self, fs):
+        fs.create("/f")
+        assert fs.read("/f") == b""
+        assert fs.file_size("/f") == 0
+
+    def test_create_duplicate_fails(self, fs):
+        fs.create("/f")
+        with pytest.raises(FileSystemError):
+            fs.create("/f")
+
+    def test_append_write(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"hello")
+        fs.write("/f", b" world")
+        assert fs.read("/f") == b"hello world"
+
+    def test_offset_write_overwrites(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"AAAA")
+        fs.write("/f", b"BB", offset=1)
+        assert fs.read("/f") == b"ABBA"
+
+    def test_offset_write_extends(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"AB")
+        fs.write("/f", b"CD", offset=2)
+        assert fs.read("/f") == b"ABCD"
+
+    def test_offset_beyond_eof_fails(self, fs):
+        fs.create("/f")
+        with pytest.raises(FileSystemError):
+            fs.write("/f", b"x", offset=5)
+
+    def test_ranged_read(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"abcdef")
+        assert fs.read("/f", offset=2, length=3) == b"cde"
+
+    def test_read_past_eof_truncates(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"ab")
+        assert fs.read("/f", offset=1, length=100) == b"b"
+
+    def test_read_negative_length_fails(self, fs):
+        fs.create("/f")
+        with pytest.raises(FileSystemError):
+            fs.read("/f", length=-1)
+
+    def test_read_missing_file_fails(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read("/nope")
+
+    def test_read_directory_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileSystemError):
+            fs.read("/d")
+
+    def test_truncate_shrinks(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"abcdef")
+        fs.truncate("/f", 3)
+        assert fs.read("/f") == b"abc"
+
+    def test_truncate_grows_zero_filled(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"ab")
+        fs.truncate("/f", 4)
+        assert fs.read("/f") == b"ab\0\0"
+
+    def test_unlink_returns_size(self, fs):
+        fs.create("/f")
+        fs.write("/f", b"12345")
+        assert fs.unlink("/f") == 5
+        assert not fs.exists("/f")
+
+    def test_unlink_missing_fails(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.unlink("/nope")
+
+    def test_unlink_directory_fails(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileSystemError):
+            fs.unlink("/d")
+
+    def test_total_files_counts_recursively(self, fs):
+        fs.makedirs("/a/b")
+        fs.create("/f1")
+        fs.create("/a/f2")
+        fs.create("/a/b/f3")
+        assert fs.total_files() == 3
+
+
+class TestNestedWorkflow:
+    def test_faas_filesystem_scenario(self, fs):
+        """The paper's `filesystem` FaaS workload: nested dirs + 1 MB file."""
+        fs.makedirs("/outer/inner")
+        fs.create("/outer/inner/data.bin")
+        payload = b"\xab" * (1 << 20)
+        fs.write("/outer/inner/data.bin", payload)
+        assert fs.read("/outer/inner/data.bin") == payload
+        fs.unlink("/outer/inner/data.bin")
+        fs.rmdir("/outer/inner")
+        fs.rmdir("/outer")
+        assert fs.listdir("/") == []
+
+
+@given(
+    chunks=st.lists(st.binary(max_size=64), max_size=20),
+)
+def test_append_concatenates(chunks):
+    """Property: appended writes read back as their concatenation."""
+    fs = InMemoryFileSystem()
+    fs.create("/f")
+    for chunk in chunks:
+        fs.write("/f", chunk)
+    assert fs.read("/f") == b"".join(chunks)
+
+
+@given(
+    data=st.binary(min_size=1, max_size=256),
+    cut=st.integers(min_value=0, max_value=256),
+)
+def test_truncate_then_size(data, cut):
+    """Property: after truncate(n), size is min(n, grown size)."""
+    fs = InMemoryFileSystem()
+    fs.create("/f")
+    fs.write("/f", data)
+    fs.truncate("/f", cut)
+    assert fs.file_size("/f") == cut if cut <= len(data) else cut

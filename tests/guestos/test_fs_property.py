@@ -1,0 +1,128 @@
+"""Model-based property tests: the in-memory FS against a dict model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import FileSystemError
+from repro.guestos.filesystem import InMemoryFileSystem
+
+file_names = st.sampled_from([f"/f{i}" for i in range(6)])
+payloads = st.binary(max_size=128)
+
+
+class FsModel(RuleBasedStateMachine):
+    """Drive the FS and a plain dict with the same operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.fs = InMemoryFileSystem()
+        self.model: dict[str, bytearray] = {}
+
+    @rule(path=file_names)
+    def create(self, path):
+        if path in self.model:
+            try:
+                self.fs.create(path)
+                raise AssertionError("duplicate create must fail")
+            except FileSystemError:
+                pass
+        else:
+            self.fs.create(path)
+            self.model[path] = bytearray()
+
+    @rule(path=file_names, data=payloads)
+    def append(self, path, data):
+        if path in self.model:
+            self.fs.write(path, data)
+            self.model[path].extend(data)
+        else:
+            try:
+                self.fs.write(path, data)
+                raise AssertionError("write to missing file must fail")
+            except FileSystemError:
+                pass
+
+    @rule(path=file_names, data=payloads, offset=st.integers(0, 64))
+    def overwrite(self, path, data, offset):
+        if path not in self.model:
+            return
+        size = len(self.model[path])
+        if offset > size:
+            try:
+                self.fs.write(path, data, offset=offset)
+                raise AssertionError("out-of-range offset must fail")
+            except FileSystemError:
+                pass
+            return
+        self.fs.write(path, data, offset=offset)
+        blob = self.model[path]
+        end = offset + len(data)
+        if end > len(blob):
+            blob.extend(b"\0" * (end - len(blob)))
+        blob[offset:end] = data
+
+    @rule(path=file_names, size=st.integers(0, 200))
+    def truncate(self, path, size):
+        if path not in self.model:
+            return
+        self.fs.truncate(path, size)
+        blob = self.model[path]
+        if size <= len(blob):
+            del blob[size:]
+        else:
+            blob.extend(b"\0" * (size - len(blob)))
+
+    @rule(path=file_names)
+    def unlink(self, path):
+        if path in self.model:
+            returned = self.fs.unlink(path)
+            assert returned == len(self.model[path])
+            del self.model[path]
+        else:
+            try:
+                self.fs.unlink(path)
+                raise AssertionError("unlink of missing file must fail")
+            except FileSystemError:
+                pass
+
+    @invariant()
+    def contents_match(self):
+        for path, blob in self.model.items():
+            assert self.fs.read(path) == bytes(blob), path
+        assert self.fs.total_files() == len(self.model)
+
+    @invariant()
+    def missing_files_stay_missing(self):
+        for i in range(6):
+            path = f"/f{i}"
+            assert self.fs.exists(path) == (path in self.model)
+
+
+FsModel.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestFsModel = FsModel.TestCase
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    chunks=st.lists(payloads, max_size=10),
+    read_offset=st.integers(0, 300),
+    read_length=st.integers(0, 300),
+)
+def test_ranged_reads_match_slicing(chunks, read_offset, read_length):
+    """Property: ranged reads equal Python slicing of the full blob."""
+    fs = InMemoryFileSystem()
+    fs.create("/blob")
+    whole = b"".join(chunks)
+    for chunk in chunks:
+        fs.write("/blob", chunk)
+    if read_offset > len(whole):
+        try:
+            fs.read("/blob", offset=read_offset, length=read_length)
+            raise AssertionError("out-of-range read must fail")
+        except FileSystemError:
+            return
+    expected = whole[read_offset:read_offset + read_length]
+    assert fs.read("/blob", offset=read_offset, length=read_length) == expected

@@ -1,0 +1,135 @@
+"""Tests for the CPU and cache models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.cpu import CacheModel, CpuModel
+from repro.hw.perfcounters import PerfCounters
+
+
+class TestCacheModel:
+    def test_small_working_set_keeps_base_hit_rate(self):
+        cache = CacheModel(size_bytes=1024, base_hit_rate=0.95)
+        assert cache.hit_rate(512) == 0.95
+
+    def test_zero_working_set(self):
+        cache = CacheModel(base_hit_rate=0.9)
+        assert cache.hit_rate(0) == 0.9
+
+    def test_oversized_working_set_decays(self):
+        cache = CacheModel(size_bytes=1024, base_hit_rate=0.95)
+        assert cache.hit_rate(10 * 1024) < 0.95
+
+    def test_hit_rate_never_below_floor(self):
+        cache = CacheModel(size_bytes=1024)
+        assert cache.hit_rate(10**9) >= 0.35
+
+    def test_access_cost_all_hits_cheaper_than_misses(self):
+        cache = CacheModel()
+        assert cache.access_cost_ns(1000, 1.0) < cache.access_cost_ns(1000, 0.0)
+
+    def test_access_cost_rejects_negative(self):
+        with pytest.raises(HardwareError):
+            CacheModel().access_cost_ns(-1, 0.5)
+
+    @given(ws=st.integers(min_value=0, max_value=2**40))
+    def test_hit_rate_bounded(self, ws):
+        """Property: hit rate always within [0, 1]."""
+        rate = CacheModel().hit_rate(ws)
+        assert 0.0 <= rate <= 1.0
+
+    @given(
+        small=st.integers(min_value=0, max_value=2**30),
+        extra=st.integers(min_value=0, max_value=2**30),
+    )
+    def test_hit_rate_monotonically_nonincreasing(self, small, extra):
+        """Property: bigger working sets never improve the hit rate."""
+        cache = CacheModel()
+        assert cache.hit_rate(small + extra) <= cache.hit_rate(small)
+
+
+class TestCpuModel:
+    def test_execute_advances_counters(self):
+        cpu = CpuModel()
+        counters = PerfCounters()
+        cpu.execute(10_000, counters, memory_references=100)
+        assert counters.instructions == 10_000
+        assert counters.cycles > 0
+        assert counters.cache_references == 100
+
+    def test_execute_returns_positive_time(self):
+        cpu = CpuModel()
+        assert cpu.execute(1000, PerfCounters()) > 0
+
+    def test_zero_instructions_zero_cost(self):
+        cpu = CpuModel()
+        assert cpu.execute(0, PerfCounters()) == 0.0
+
+    def test_more_instructions_take_longer(self):
+        cpu = CpuModel()
+        short = cpu.execute(1_000, PerfCounters())
+        long = cpu.execute(100_000, PerfCounters())
+        assert long > short
+
+    def test_faster_clock_is_faster(self):
+        slow = CpuModel(frequency_ghz=1.0)
+        fast = CpuModel(frequency_ghz=4.0)
+        assert fast.execute(10_000, PerfCounters()) < slow.execute(
+            10_000, PerfCounters()
+        )
+
+    def test_memory_bound_work_slower(self):
+        cpu = CpuModel()
+        lean = cpu.execute(10_000, PerfCounters(), memory_references=0)
+        heavy = cpu.execute(
+            10_000,
+            PerfCounters(),
+            memory_references=10_000,
+            working_set_bytes=10 * cpu.cache.size_bytes,
+        )
+        assert heavy > lean
+
+    def test_hit_rate_override_changes_misses(self):
+        cpu = CpuModel()
+        good, bad = PerfCounters(), PerfCounters()
+        cpu.execute(1000, good, memory_references=1000, hit_rate_override=1.0)
+        cpu.execute(1000, bad, memory_references=1000, hit_rate_override=0.0)
+        assert good.cache_misses == 0
+        assert bad.cache_misses == 1000
+
+    def test_better_cache_is_faster(self):
+        cpu = CpuModel()
+        fast = cpu.execute(1000, PerfCounters(), memory_references=5000,
+                           hit_rate_override=1.0)
+        slow = cpu.execute(1000, PerfCounters(), memory_references=5000,
+                           hit_rate_override=0.5)
+        assert fast < slow
+
+    def test_rejects_negative_instructions(self):
+        with pytest.raises(HardwareError):
+            CpuModel().execute(-1, PerfCounters())
+
+    def test_rejects_negative_memory_references(self):
+        with pytest.raises(HardwareError):
+            CpuModel().execute(10, PerfCounters(), memory_references=-1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(HardwareError):
+            CpuModel(frequency_ghz=0)
+
+    def test_rejects_bad_ipc(self):
+        with pytest.raises(HardwareError):
+            CpuModel(base_ipc=-1)
+
+    def test_branch_counters_populated(self):
+        cpu = CpuModel(branch_fraction=0.5, branch_miss_rate=0.1)
+        counters = PerfCounters()
+        cpu.execute(10_000, counters)
+        assert counters.branch_instructions == 5_000
+        assert counters.branch_misses == 500
+
+    @given(instructions=st.integers(min_value=0, max_value=10**9))
+    def test_cost_nonnegative(self, instructions):
+        """Property: execution cost is never negative."""
+        assert CpuModel().execute(instructions, PerfCounters()) >= 0.0

@@ -1,0 +1,125 @@
+"""Tests for memory, disk and NIC cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.disk import DiskModel
+from repro.hw.memory import PAGE_SIZE, MemoryModel
+from repro.hw.nic import NicModel, lan_path, wan_path
+from repro.hw.perfcounters import PerfCounters
+from repro.sim.rng import SimRng
+
+
+class TestMemoryModel:
+    def test_allocation_counts_page_faults(self):
+        memory = MemoryModel()
+        counters = PerfCounters()
+        memory.allocate(10 * PAGE_SIZE, counters)
+        assert counters.page_faults == 10
+
+    def test_partial_page_rounds_up(self):
+        memory = MemoryModel()
+        counters = PerfCounters()
+        memory.allocate(PAGE_SIZE + 1, counters)
+        assert counters.page_faults == 2
+
+    def test_encrypted_allocation_costs_more(self):
+        memory = MemoryModel()
+        plain = memory.allocate(1 << 20, PerfCounters())
+        encrypted = memory.allocate(1 << 20, PerfCounters(), encrypted=True)
+        assert encrypted > plain
+
+    def test_integrity_costs_even_more(self):
+        memory = MemoryModel()
+        encrypted = memory.allocate(1 << 20, PerfCounters(), encrypted=True)
+        both = memory.allocate(1 << 20, PerfCounters(), encrypted=True,
+                               integrity=True)
+        assert both > encrypted
+
+    def test_copy_scales_with_size(self):
+        memory = MemoryModel()
+        small = memory.copy(1 << 10, PerfCounters())
+        large = memory.copy(1 << 20, PerfCounters())
+        assert large > small * 100
+
+    def test_copy_rejects_negative(self):
+        with pytest.raises(HardwareError):
+            MemoryModel().copy(-1, PerfCounters())
+
+    def test_allocate_rejects_negative(self):
+        with pytest.raises(HardwareError):
+            MemoryModel().allocate(-1, PerfCounters())
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(HardwareError):
+            MemoryModel(bandwidth_gbps=0)
+
+    @given(nbytes=st.integers(min_value=0, max_value=2**30))
+    def test_costs_nonnegative(self, nbytes):
+        """Property: memory costs are never negative."""
+        memory = MemoryModel()
+        assert memory.allocate(nbytes, PerfCounters()) >= 0
+        assert memory.copy(nbytes, PerfCounters()) >= 0
+
+
+class TestDiskModel:
+    def test_read_has_fixed_latency_floor(self):
+        disk = DiskModel(read_latency_us=100.0)
+        assert disk.read(0) == pytest.approx(100_000.0)
+
+    def test_write_cheaper_latency_than_read_by_default(self):
+        disk = DiskModel()
+        assert disk.write(0) < disk.read(0)
+
+    def test_bandwidth_term_scales(self):
+        disk = DiskModel()
+        assert disk.read(1 << 20) > disk.read(0)
+
+    def test_rejects_negative_sizes(self):
+        disk = DiskModel()
+        with pytest.raises(HardwareError):
+            disk.read(-1)
+        with pytest.raises(HardwareError):
+            disk.write(-1)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(HardwareError):
+            DiskModel(read_bandwidth_mbps=0)
+
+    @given(nbytes=st.integers(min_value=0, max_value=2**32))
+    def test_read_monotone_in_size(self, nbytes):
+        """Property: reading more bytes never costs less."""
+        disk = DiskModel()
+        assert disk.read(nbytes + 4096) >= disk.read(nbytes)
+
+
+class TestNicModel:
+    def test_round_trip_includes_rtt(self):
+        nic = NicModel(rtt_ms=10.0, jitter_sigma=0.0)
+        assert nic.round_trip(0) == pytest.approx(10e6)
+
+    def test_payload_adds_transfer_time(self):
+        nic = NicModel(jitter_sigma=0.0)
+        assert nic.round_trip(1 << 20) > nic.round_trip(0)
+
+    def test_jitter_applies_with_rng(self):
+        nic = NicModel(rtt_ms=1.0, jitter_sigma=0.5)
+        rng = SimRng(1)
+        samples = {nic.round_trip(0, rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_no_rng_is_deterministic(self):
+        nic = NicModel()
+        assert nic.round_trip(100) == nic.round_trip(100)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(HardwareError):
+            NicModel().round_trip(-1)
+
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(HardwareError):
+            NicModel(rtt_ms=-1)
+
+    def test_wan_slower_than_lan(self):
+        assert wan_path().round_trip(4096) > lan_path().round_trip(4096)

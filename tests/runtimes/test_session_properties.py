@@ -1,0 +1,119 @@
+"""Property-based invariants of runtime sessions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.guestos.context import CostProfile, ExecContext
+from repro.guestos.kernel import GuestKernel
+from repro.hw.machine import xeon_gold_5515
+from repro.runtimes import RUNTIME_NAMES, RuntimeSession, runtime_by_name
+from repro.sim.rng import SimRng
+
+
+def make_session(lang, seed=1, noise=0.0):
+    ctx = ExecContext(
+        machine=xeon_gold_5515(),
+        profile=CostProfile(noise_sigma=noise),
+        rng=SimRng(seed),
+    )
+    session = RuntimeSession(runtime_by_name(lang), GuestKernel(ctx))
+    session.bootstrap()
+    return session
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lang=st.sampled_from(RUNTIME_NAMES),
+    operations=st.lists(
+        st.one_of(
+            st.tuples(st.just("compute"), st.integers(0, 10_000)),
+            st.tuples(st.just("alloc"), st.integers(0, 1 << 20)),
+            st.tuples(st.just("release"), st.integers(0, 1 << 20)),
+            st.tuples(st.just("log"), st.integers(1, 40)),
+        ),
+        max_size=20,
+    ),
+)
+def test_elapsed_monotone_nondecreasing(lang, operations):
+    """Property: virtual time never rewinds across any op sequence."""
+    session = make_session(lang)
+    last = session.ctx.elapsed_ns()
+    for op, amount in operations:
+        if op == "compute":
+            session.compute(amount)
+        elif op == "alloc":
+            session.allocate(amount)
+        elif op == "release":
+            session.release(amount)
+        else:
+            session.log("x" * amount)
+        now = session.ctx.elapsed_ns()
+        assert now >= last
+        last = now
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lang=st.sampled_from(RUNTIME_NAMES),
+    allocations=st.lists(st.integers(0, 1 << 20), max_size=15),
+)
+def test_gc_runs_bounded_by_allocation_debt(lang, allocations):
+    """Property: GC count never exceeds total-allocated / threshold + 1."""
+    session = make_session(lang)
+    for nbytes in allocations:
+        session.allocate(nbytes)
+    total = sum(allocations)
+    bound = total // session.model.gc_threshold_bytes + 1
+    assert session.gc_runs <= bound
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lang=st.sampled_from(RUNTIME_NAMES),
+    pairs=st.lists(st.integers(1, 1 << 18), max_size=10),
+)
+def test_heap_returns_to_zero_after_matched_release(lang, pairs):
+    """Property: alloc/release pairs leave the heap empty."""
+    session = make_session(lang)
+    for nbytes in pairs:
+        session.allocate(nbytes)
+    for nbytes in pairs:
+        session.release(nbytes)
+    assert session.heap_bytes == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(units=st.integers(1, 200_000))
+def test_jit_total_time_at_most_interpreter_time(units):
+    """Property: a JIT runtime is never slower than interpreting
+    everything at its cold dispatch factor."""
+    jit_session = make_session("luajit")
+    jit_time = jit_session.compute(units)
+    cold_model = runtime_by_name("luajit")
+    # interpreter-only cost of the same units at the cold factor:
+    cold_session = make_session("lua")   # same dispatch factor, no JIT
+    cold_time = cold_session.compute(units)
+    # luajit's memory profile differs slightly; allow 25% slack
+    assert jit_time <= cold_time * 1.25
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lang=st.sampled_from(RUNTIME_NAMES),
+    units=st.integers(0, 50_000),
+    seed=st.integers(0, 100),
+)
+def test_compute_deterministic_per_seed(lang, units, seed):
+    """Property: identical sessions charge identical time."""
+    a = make_session(lang, seed=seed, noise=0.02)
+    b = make_session(lang, seed=seed, noise=0.02)
+    assert a.compute(units) == b.compute(units)
+
+
+@settings(max_examples=20, deadline=None)
+@given(messages=st.lists(st.text(max_size=60), max_size=15))
+def test_stdout_line_count_exact(messages):
+    """Property: every log call produces exactly one stdout line."""
+    session = make_session("python")
+    for message in messages:
+        session.log(message)
+    assert session.stdout_lines == len(messages)

@@ -1,0 +1,147 @@
+"""Tests for the cost ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.ledger import CostCategory, CostLedger
+
+
+class TestCharge:
+    def test_empty_ledger_total_is_zero(self):
+        assert CostLedger().total() == 0.0
+
+    def test_single_charge(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 42.0)
+        assert ledger.get(CostCategory.CPU) == 42.0
+
+    def test_charges_accumulate(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 10.0)
+        ledger.charge(CostCategory.CPU, 5.0)
+        assert ledger.get(CostCategory.CPU) == 15.0
+
+    def test_get_unknown_category_is_zero(self):
+        assert CostLedger().get(CostCategory.IO_READ) == 0.0
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(SimulationError):
+            CostLedger().charge(CostCategory.CPU, -1.0)
+
+    def test_rejects_nan_charge(self):
+        with pytest.raises(SimulationError):
+            CostLedger().charge(CostCategory.CPU, float("nan"))
+
+    def test_total_spans_categories(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 10.0)
+        ledger.charge(CostCategory.IO_READ, 20.0)
+        assert ledger.total() == 30.0
+
+
+class TestExclusion:
+    def test_total_excluding_startup(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 100.0)
+        ledger.charge(CostCategory.STARTUP, 1000.0)
+        assert ledger.total_excluding(CostCategory.STARTUP) == 100.0
+
+    def test_total_excluding_multiple(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 1.0)
+        ledger.charge(CostCategory.STARTUP, 2.0)
+        ledger.charge(CostCategory.NETWORK, 4.0)
+        assert ledger.total_excluding(
+            CostCategory.STARTUP, CostCategory.NETWORK
+        ) == 1.0
+
+
+class TestMergeAndCopy:
+    def test_merge_adds_charges(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge(CostCategory.CPU, 1.0)
+        b.charge(CostCategory.CPU, 2.0)
+        b.charge(CostCategory.SYSCALL, 3.0)
+        a.merge(b)
+        assert a.get(CostCategory.CPU) == 3.0
+        assert a.get(CostCategory.SYSCALL) == 3.0
+
+    def test_merge_leaves_source_unchanged(self):
+        a, b = CostLedger(), CostLedger()
+        b.charge(CostCategory.CPU, 2.0)
+        a.merge(b)
+        assert b.total() == 2.0
+
+    def test_copy_is_independent(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 1.0)
+        clone = ledger.copy()
+        clone.charge(CostCategory.CPU, 1.0)
+        assert ledger.get(CostCategory.CPU) == 1.0
+        assert clone.get(CostCategory.CPU) == 2.0
+
+
+class TestAnalysis:
+    def test_fractions_sum_to_one(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 30.0)
+        ledger.charge(CostCategory.IO_WRITE, 70.0)
+        fractions = ledger.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[CostCategory.IO_WRITE] == pytest.approx(0.7)
+
+    def test_fractions_empty(self):
+        assert CostLedger().fractions() == {}
+
+    def test_dominant(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 1.0)
+        ledger.charge(CostCategory.BOUNCE_BUFFER, 10.0)
+        assert ledger.dominant() is CostCategory.BOUNCE_BUFFER
+
+    def test_dominant_empty(self):
+        assert CostLedger().dominant() is None
+
+    def test_iteration_and_len(self):
+        ledger = CostLedger()
+        ledger.charge(CostCategory.CPU, 1.0)
+        ledger.charge(CostCategory.SYSCALL, 2.0)
+        assert len(ledger) == 2
+        assert dict(ledger)[CostCategory.SYSCALL] == 2.0
+
+
+@given(
+    charges=st.lists(
+        st.tuples(
+            st.sampled_from(list(CostCategory)),
+            st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        ),
+        max_size=50,
+    )
+)
+def test_total_equals_sum_of_charges(charges):
+    """Property: ledger total always equals the sum of charges made."""
+    ledger = CostLedger()
+    for category, nanos in charges:
+        ledger.charge(category, nanos)
+    assert ledger.total() == pytest.approx(sum(n for _, n in charges))
+
+
+@given(
+    charges=st.lists(
+        st.tuples(
+            st.sampled_from(list(CostCategory)),
+            st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        ),
+        max_size=30,
+    )
+)
+def test_merge_preserves_total(charges):
+    """Property: merging ledgers adds their totals."""
+    a, b = CostLedger(), CostLedger()
+    for i, (category, nanos) in enumerate(charges):
+        (a if i % 2 else b).charge(category, nanos)
+    expected = a.total() + b.total()
+    a.merge(b)
+    assert a.total() == pytest.approx(expected)

@@ -1,0 +1,117 @@
+"""Tests for the deterministic random streams."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SimRng, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = SimRng(42), SimRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a, b = SimRng(1), SimRng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_labels_give_independent_streams(self):
+        a = SimRng(42, "tdx")
+        b = SimRng(42, "sev")
+        assert a.random() != b.random()
+
+    def test_child_streams_are_stable(self):
+        parent = SimRng(7, "root")
+        assert parent.child("x").random() == SimRng(7, "root").child("x").random()
+
+    def test_child_does_not_consume_parent(self):
+        a, b = SimRng(9), SimRng(9)
+        a.child("side")
+        assert a.random() == b.random()
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(5, "x") == derive_seed(5, "x")
+        assert derive_seed(5, "x") != derive_seed(5, "y")
+
+
+class TestDistributions:
+    def test_uniform_in_range(self):
+        rng = SimRng(1)
+        for _ in range(100):
+            assert 2.0 <= rng.uniform(2.0, 3.0) < 3.0
+
+    def test_randint_inclusive(self):
+        rng = SimRng(1)
+        values = {rng.randint(0, 2) for _ in range(200)}
+        assert values == {0, 1, 2}
+
+    def test_lognormal_sigma_zero_is_one(self):
+        assert SimRng(1).lognormal_factor(0.0) == 1.0
+
+    def test_lognormal_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            SimRng(1).lognormal_factor(-0.1)
+
+    def test_lognormal_median_near_one(self):
+        rng = SimRng(3)
+        samples = [rng.lognormal_factor(0.1) for _ in range(2000)]
+        assert statistics.median(samples) == pytest.approx(1.0, abs=0.03)
+
+    def test_lognormal_is_positive(self):
+        rng = SimRng(4)
+        assert all(rng.lognormal_factor(0.5) > 0 for _ in range(100))
+
+    def test_exponential_mean(self):
+        rng = SimRng(5)
+        samples = [rng.exponential(10.0) for _ in range(5000)]
+        assert statistics.fmean(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            SimRng(1).exponential(0)
+
+    def test_bernoulli_bounds(self):
+        rng = SimRng(6)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_bernoulli_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SimRng(1).bernoulli(1.5)
+
+    def test_bytes_length(self):
+        rng = SimRng(7)
+        assert len(rng.bytes(16)) == 16
+        assert rng.bytes(0) == b""
+
+    def test_shuffle_permutes(self):
+        rng = SimRng(8)
+        data = list(range(20))
+        shuffled = data[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == data
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32), label=st.text(max_size=20))
+def test_derive_seed_in_64_bit_range(seed, label):
+    """Property: derived seeds are valid non-negative 64-bit ints."""
+    value = derive_seed(seed, label)
+    assert 0 <= value < 2**64
+
+
+@given(sigma=st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+def test_lognormal_factor_positive(sigma):
+    """Property: lognormal factors are always strictly positive."""
+    assert SimRng(11).lognormal_factor(sigma) > 0
+
+
+def test_lognormal_larger_sigma_more_spread():
+    tight = SimRng(12, "tight")
+    wide = SimRng(12, "wide")
+    tight_samples = [tight.lognormal_factor(0.01) for _ in range(500)]
+    wide_samples = [wide.lognormal_factor(0.5) for _ in range(500)]
+    spread = lambda xs: statistics.pstdev([math.log(x) for x in xs])  # noqa: E731
+    assert spread(wide_samples) > spread(tight_samples) * 5

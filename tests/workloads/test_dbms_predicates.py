@@ -1,0 +1,239 @@
+"""Tests for LIKE / IN / BETWEEN predicates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SqlSyntaxError
+from repro.workloads.dbms.engine import Database
+from repro.workloads.dbms.executor import _like_match
+from repro.workloads.dbms.parser import parse
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT, qty INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO items VALUES "
+        "(1, 'apple', 5), (2, 'apricot', 12), (3, 'banana', 7), "
+        "(4, 'blueberry', 30), (5, 'cherry', NULL)"
+    )
+    return database
+
+
+class TestLike:
+    def test_prefix_wildcard(self, db):
+        result = db.execute("SELECT name FROM items WHERE name LIKE 'ap%'")
+        assert sorted(r[0] for r in result.rows) == ["apple", "apricot"]
+
+    def test_suffix_wildcard(self, db):
+        result = db.execute("SELECT name FROM items WHERE name LIKE '%rry'")
+        assert sorted(r[0] for r in result.rows) == ["blueberry", "cherry"]
+
+    def test_underscore_single_char(self, db):
+        result = db.execute("SELECT name FROM items WHERE name LIKE '_pple'")
+        assert result.rows == [("apple",)]
+
+    def test_not_like(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM items WHERE name NOT LIKE 'a%'"
+        )
+        assert result.scalar() == 3
+
+    def test_like_case_insensitive(self, db):
+        result = db.execute("SELECT name FROM items WHERE name LIKE 'APPLE'")
+        assert result.rows == [("apple",)]
+
+    def test_like_match_escapes_regex_chars(self):
+        assert _like_match("a.b", "a.b")
+        assert not _like_match("axb", "a.b")   # '.' is literal in LIKE
+        assert _like_match("a+b", "a+b")
+
+    def test_like_null_is_null(self, db):
+        # NULL LIKE anything -> NULL, which is not true
+        result = db.execute(
+            "SELECT COUNT(*) FROM items WHERE qty LIKE '%'"
+        )
+        assert result.scalar() == 4   # the NULL qty row is excluded
+
+
+class TestIn:
+    def test_in_list(self, db):
+        result = db.execute(
+            "SELECT name FROM items WHERE id IN (1, 3, 99)"
+        )
+        assert sorted(r[0] for r in result.rows) == ["apple", "banana"]
+
+    def test_not_in(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM items WHERE id NOT IN (1, 2, 3)"
+        )
+        assert result.scalar() == 2
+
+    def test_in_with_text(self, db):
+        result = db.execute(
+            "SELECT id FROM items WHERE name IN ('apple', 'cherry')"
+        )
+        assert sorted(r[0] for r in result.rows) == [1, 5]
+
+    def test_in_with_null_item_is_unknown(self, db):
+        # 7 IN (1, NULL) is NULL (unknown), not false -> row excluded
+        result = db.execute(
+            "SELECT COUNT(*) FROM items WHERE qty IN (5, NULL)"
+        )
+        assert result.scalar() == 1   # only qty=5 matches definitively
+
+    def test_in_with_expressions(self, db):
+        result = db.execute(
+            "SELECT name FROM items WHERE qty IN (2 + 3, 6 + 1)"
+        )
+        assert sorted(r[0] for r in result.rows) == ["apple", "banana"]
+
+
+class TestBetween:
+    def test_between_inclusive(self, db):
+        result = db.execute(
+            "SELECT name FROM items WHERE qty BETWEEN 5 AND 12"
+        )
+        assert sorted(r[0] for r in result.rows) == [
+            "apple", "apricot", "banana"
+        ]
+
+    def test_not_between(self, db):
+        result = db.execute(
+            "SELECT name FROM items WHERE qty NOT BETWEEN 5 AND 12"
+        )
+        assert result.rows == [("blueberry",)]
+
+    def test_between_null_excluded(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM items WHERE qty BETWEEN 0 AND 100"
+        )
+        assert result.scalar() == 4
+
+    def test_between_uses_index(self, db):
+        db.execute("CREATE INDEX iqty ON items (qty)")
+        rows_before = None
+        from repro.workloads.dbms.executor import Executor, find_index_path
+        from repro.workloads.dbms.parser import parse as parse_sql
+
+        stmt = parse_sql("SELECT name FROM items WHERE qty BETWEEN 5 AND 12")
+        path = find_index_path(db.table("items"), stmt.where, "items")
+        assert path is not None
+        assert path.low == 5 and path.high == 12
+        result = db.execute("SELECT name FROM items WHERE qty BETWEEN 5 AND 12")
+        assert sorted(r[0] for r in result.rows) == [
+            "apple", "apricot", "banana"
+        ]
+
+    def test_between_text_range(self, db):
+        result = db.execute(
+            "SELECT name FROM items WHERE name BETWEEN 'a' AND 'b'"
+        )
+        assert sorted(r[0] for r in result.rows) == ["apple", "apricot"]
+
+
+class TestParsing:
+    def test_dangling_not_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 WHERE a NOT 5")
+
+    def test_between_requires_and(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 WHERE a BETWEEN 1 OR 2")
+
+    def test_in_requires_parenthesised_list(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 WHERE a IN 1, 2")
+
+    def test_like_parses_in_update(self, db):
+        count = db.execute(
+            "UPDATE items SET qty = 0 WHERE name LIKE 'b%'"
+        ).rowcount
+        assert count == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=30),
+    low=st.integers(-50, 50),
+    high=st.integers(-50, 50),
+)
+def test_between_matches_oracle(values, low, high):
+    """Property: BETWEEN agrees with Python's chained comparison."""
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("BEGIN")
+    for value in values:
+        db.execute(f"INSERT INTO t VALUES ({value})")
+    db.execute("COMMIT")
+    got = db.execute(
+        f"SELECT COUNT(*) FROM t WHERE a BETWEEN {low} AND {high}"
+    ).scalar()
+    assert got == sum(1 for v in values if low <= v <= high)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 20), min_size=1, max_size=30),
+    members=st.lists(st.integers(0, 20), min_size=1, max_size=5),
+)
+def test_in_matches_oracle(values, members):
+    """Property: IN agrees with Python's membership test."""
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("BEGIN")
+    for value in values:
+        db.execute(f"INSERT INTO t VALUES ({value})")
+    db.execute("COMMIT")
+    member_sql = ", ".join(map(str, members))
+    got = db.execute(
+        f"SELECT COUNT(*) FROM t WHERE a IN ({member_sql})"
+    ).scalar()
+    assert got == sum(1 for v in values if v in members)
+
+
+class TestHaving:
+    @pytest.fixture
+    def grouped(self):
+        database = Database()
+        database.execute("CREATE TABLE sales (region TEXT, amount INTEGER)")
+        database.execute(
+            "INSERT INTO sales VALUES "
+            "('north', 100), ('north', 250), ('south', 40), "
+            "('south', 20), ('east', 500)"
+        )
+        return database
+
+    def test_having_filters_groups(self, grouped):
+        result = grouped.execute(
+            "SELECT region, SUM(amount) FROM sales GROUP BY region "
+            "HAVING SUM(amount) > 100 ORDER BY region"
+        )
+        assert result.rows == [("east", 500), ("north", 350)]
+
+    def test_having_with_count(self, grouped):
+        result = grouped.execute(
+            "SELECT region FROM sales GROUP BY region HAVING COUNT(*) = 2 "
+            "ORDER BY region"
+        )
+        assert result.rows == [("north",), ("south",)]
+
+    def test_having_combined_with_where(self, grouped):
+        result = grouped.execute(
+            "SELECT region, SUM(amount) FROM sales WHERE amount > 30 "
+            "GROUP BY region HAVING SUM(amount) < 400 ORDER BY region"
+        )
+        assert result.rows == [("north", 350), ("south", 40)]
+
+    def test_having_without_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(a) FROM t HAVING SUM(a) > 1")
+
+    def test_having_eliminating_everything(self, grouped):
+        result = grouped.execute(
+            "SELECT region FROM sales GROUP BY region HAVING SUM(amount) > 9999"
+        )
+        assert result.rows == []

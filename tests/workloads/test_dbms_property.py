@@ -1,0 +1,179 @@
+"""Property-based tests: the SQL engine against a Python oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfBenchError, SqlSyntaxError
+from repro.workloads.dbms.engine import Database
+from repro.workloads.dbms.tokenizer import tokenize
+
+# -- strategies --------------------------------------------------------
+
+names = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+ints = st.integers(min_value=-1000, max_value=1000)
+
+rows = st.lists(
+    st.tuples(ints, ints, names),
+    min_size=1,
+    max_size=40,
+)
+
+
+def fresh_db(data):
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b INTEGER, c TEXT)")
+    db.execute("BEGIN")
+    for a, b, c in data:
+        db.execute(f"INSERT INTO t VALUES ({a}, {b}, '{c}')")
+    db.execute("COMMIT")
+    return db
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=rows, threshold=ints)
+def test_where_filter_matches_oracle(data, threshold):
+    """SELECT ... WHERE a > k returns exactly the oracle's rows."""
+    db = fresh_db(data)
+    result = db.execute(f"SELECT a, b, c FROM t WHERE a > {threshold}")
+    expected = sorted((a, b, c) for a, b, c in data if a > threshold)
+    assert sorted(result.rows) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=rows)
+def test_aggregates_match_oracle(data):
+    """COUNT/SUM/MIN/MAX/AVG agree with Python."""
+    db = fresh_db(data)
+    result = db.execute(
+        "SELECT COUNT(*), SUM(a), MIN(a), MAX(a), AVG(a) FROM t"
+    ).rows[0]
+    values = [a for a, _, _ in data]
+    assert result[0] == len(values)
+    assert result[1] == sum(values)
+    assert result[2] == min(values)
+    assert result[3] == max(values)
+    assert result[4] == pytest.approx(sum(values) / len(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows)
+def test_order_by_sorts(data):
+    """ORDER BY a yields a non-decreasing column."""
+    db = fresh_db(data)
+    result = db.execute("SELECT a FROM t ORDER BY a")
+    column = [row[0] for row in result.rows]
+    assert column == sorted(column)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows)
+def test_order_by_desc_reverses(data):
+    db = fresh_db(data)
+    asc = [r[0] for r in db.execute("SELECT a FROM t ORDER BY a").rows]
+    desc = [r[0] for r in db.execute("SELECT a FROM t ORDER BY a DESC").rows]
+    assert desc == list(reversed(asc))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows, limit=st.integers(min_value=0, max_value=50))
+def test_limit_truncates(data, limit):
+    db = fresh_db(data)
+    result = db.execute(f"SELECT a FROM t LIMIT {limit}")
+    assert len(result.rows) == min(limit, len(data))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows, key=ints)
+def test_index_and_scan_agree(data, key):
+    """The index path returns exactly what the scan path returns."""
+    db = fresh_db(data)
+    scan = db.execute(f"SELECT a, b FROM t WHERE b + 0 = {key}")   # no index
+    db.execute("CREATE INDEX ib ON t (b)")
+    indexed = db.execute(f"SELECT a, b FROM t WHERE b = {key}")    # index
+    assert sorted(scan.rows) == sorted(indexed.rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows, low=ints, high=ints)
+def test_index_range_agrees_with_oracle(data, low, high):
+    db = fresh_db(data)
+    db.execute("CREATE INDEX ia ON t (a)")
+    result = db.execute(
+        f"SELECT a FROM t WHERE a >= {low} AND a <= {high}"
+    )
+    expected = sorted(a for a, _, _ in data if low <= a <= high)
+    assert sorted(row[0] for row in result.rows) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows)
+def test_group_by_partitions(data):
+    """GROUP BY buckets cover every row exactly once."""
+    db = fresh_db(data)
+    result = db.execute("SELECT b % 5, COUNT(*) FROM t GROUP BY b % 5")
+    assert sum(row[1] for row in result.rows) == len(data)
+    buckets = [row[0] for row in result.rows]
+    assert len(buckets) == len(set(buckets))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows, delta=ints)
+def test_update_then_sum(data, delta):
+    """UPDATE a = a + delta shifts SUM(a) by n * delta."""
+    db = fresh_db(data)
+    before = db.execute("SELECT SUM(a) FROM t").scalar()
+    db.execute(f"UPDATE t SET a = a + {delta}")
+    after = db.execute("SELECT SUM(a) FROM t").scalar()
+    assert after == before + delta * len(data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=rows, threshold=ints)
+def test_delete_complements_select(data, threshold):
+    """DELETE WHERE p removes exactly the rows SELECT WHERE p found."""
+    db = fresh_db(data)
+    matching = db.execute(
+        f"SELECT COUNT(*) FROM t WHERE a > {threshold}"
+    ).scalar()
+    deleted = db.execute(f"DELETE FROM t WHERE a > {threshold}").rowcount
+    remaining = db.execute("SELECT COUNT(*) FROM t").scalar()
+    assert deleted == matching
+    assert remaining == len(data) - deleted
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=rows)
+def test_rollback_is_identity(data):
+    """BEGIN + mutations + ROLLBACK leaves the table unchanged."""
+    db = fresh_db(data)
+    before = sorted(db.execute("SELECT a, b, c FROM t").rows)
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET a = 0")
+    db.execute("DELETE FROM t WHERE b > 0")
+    db.execute("INSERT INTO t VALUES (1, 2, 'x')")
+    db.execute("ROLLBACK")
+    after = sorted(db.execute("SELECT a, b, c FROM t").rows)
+    assert after == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=st.text(max_size=80))
+def test_tokenizer_never_crashes_unexpectedly(text):
+    """Fuzz: any input either tokenizes or raises SqlSyntaxError."""
+    try:
+        tokenize(text)
+    except SqlSyntaxError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=st.text(max_size=60))
+def test_execute_never_crashes_unexpectedly(text):
+    """Fuzz: arbitrary statements raise only library errors."""
+    db = Database()
+    try:
+        db.execute(text)
+    except ConfBenchError:
+        pass
+    except RecursionError:
+        pass   # deeply nested parens; acceptable for a teaching parser

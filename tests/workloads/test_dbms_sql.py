@@ -1,0 +1,230 @@
+"""Tests for the SQL front end: tokenizer, parser, expressions."""
+
+import pytest
+
+from repro.errors import SqlExecutionError, SqlSyntaxError
+from repro.workloads.dbms import ast_nodes as ast
+from repro.workloads.dbms.engine import Database
+from repro.workloads.dbms.parser import parse
+from repro.workloads.dbms.tokenizer import TokenType, tokenize
+from repro.workloads.dbms.values import (
+    apply_affinity,
+    arithmetic,
+    compare,
+    is_truthy,
+    sort_key,
+)
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "myTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[1].type is TokenType.REAL
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b <> c || d")
+        ops = [t.value for t in tokens if t.type is TokenType.OP]
+        assert ops == ["<=", "!=", "||"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n")
+        assert len(tokens) == 3   # SELECT, 1, EOF
+
+    def test_junk_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @foo")
+
+    def test_eof_terminated(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestParser:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].affinity == "TEXT"
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)")
+
+    def test_create_index(self):
+        stmt = parse("CREATE UNIQUE INDEX i ON t (c)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.unique
+
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (b, a) VALUES (1, 2)")
+        assert stmt.columns == ("b", "a")
+
+    def test_select_structure(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) AS n FROM t WHERE a > 1 "
+            "GROUP BY a ORDER BY n DESC LIMIT 5"
+        )
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[1].alias == "n"
+        assert stmt.limit == 5
+        assert stmt.order_by[0].descending
+        assert len(stmt.group_by) == 1
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.items[0].star
+
+    def test_join_parses(self):
+        stmt = parse("SELECT a FROM t JOIN u ON t.id = u.tid")
+        assert stmt.join is not None
+        assert stmt.join.table == "u"
+
+    def test_operator_precedence(self):
+        stmt = parse("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        stmt = parse("SELECT 1 WHERE a OR b AND c")
+        where = stmt.where
+        assert isinstance(where, ast.BinaryOp) and where.op == "OR"
+        assert isinstance(where.right, ast.BinaryOp) and where.right.op == "AND"
+
+    def test_is_null(self):
+        stmt = parse("SELECT 1 WHERE a IS NOT NULL")
+        assert isinstance(stmt.where, ast.IsNull)
+        assert stmt.where.negated
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT -5")
+        assert isinstance(stmt.items[0].expr, ast.UnaryOp)
+
+    def test_count_star_only(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 2")
+
+    def test_semicolon_allowed(self):
+        assert isinstance(parse("SELECT 1;"), ast.Select)
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("VACUUM")
+
+    def test_transaction_statements(self):
+        assert isinstance(parse("BEGIN"), ast.Begin)
+        assert isinstance(parse("COMMIT"), ast.Commit)
+        assert isinstance(parse("ROLLBACK"), ast.Rollback)
+
+
+class TestValues:
+    def test_affinity_integer(self):
+        assert apply_affinity("42", "INTEGER") == 42
+        assert apply_affinity(3.7, "INTEGER") == 3
+
+    def test_affinity_real(self):
+        assert apply_affinity(1, "REAL") == 1.0
+
+    def test_affinity_text(self):
+        assert apply_affinity(5, "TEXT") == "5"
+
+    def test_affinity_null_passthrough(self):
+        assert apply_affinity(None, "INTEGER") is None
+
+    def test_affinity_error(self):
+        with pytest.raises(SqlExecutionError):
+            apply_affinity("not-a-number", "INTEGER")
+
+    def test_compare_null_is_unknown(self):
+        assert compare(None, 1) is None
+        assert compare(1, None) is None
+
+    def test_compare_cross_type_order(self):
+        assert compare(5, "a") == -1    # numbers sort before text
+        assert compare("a", 5) == 1
+
+    def test_sort_key_null_first(self):
+        values = ["zebra", None, 3, 1.5]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [None, 1.5, 3, "zebra"]
+
+    def test_is_truthy(self):
+        assert not is_truthy(None)
+        assert not is_truthy(0)
+        assert not is_truthy("")
+        assert is_truthy(1)
+        assert is_truthy("x")
+
+    def test_arithmetic_null_propagates(self):
+        assert arithmetic("+", None, 1) is None
+
+    def test_division_by_zero_is_null(self):
+        assert arithmetic("/", 1, 0) is None
+
+    def test_integer_division(self):
+        assert arithmetic("/", 7, 2) == 3
+
+    def test_concat(self):
+        assert arithmetic("||", "a", 1) == "a1"
+
+
+class TestExpressionEvaluation:
+    def eval_scalar(self, sql):
+        return Database().execute(f"SELECT {sql}").scalar()
+
+    def test_arithmetic_chain(self):
+        assert self.eval_scalar("2 + 3 * 4 - 1") == 13
+
+    def test_parentheses(self):
+        assert self.eval_scalar("(2 + 3) * 4") == 20
+
+    def test_comparison_returns_int(self):
+        assert self.eval_scalar("3 > 2") == 1
+        assert self.eval_scalar("3 < 2") == 0
+
+    def test_null_comparison_is_null(self):
+        assert self.eval_scalar("NULL = NULL") is None
+
+    def test_is_null_on_null(self):
+        assert self.eval_scalar("NULL IS NULL") == 1
+
+    def test_not(self):
+        assert self.eval_scalar("NOT 0") == 1
+
+    def test_length_and_abs(self):
+        assert self.eval_scalar("LENGTH('hello')") == 5
+        assert self.eval_scalar("ABS(-4)") == 4
+
+    def test_string_concat(self):
+        assert self.eval_scalar("'a' || 'b' || 'c'") == "abc"
+
+    def test_modulo(self):
+        assert self.eval_scalar("17 % 5") == 2

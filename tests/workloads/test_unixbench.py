@@ -1,0 +1,149 @@
+"""Tests for the UnixBench-style suite."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.guestos.context import CostProfile, ExecContext
+from repro.guestos.kernel import GuestKernel
+from repro.hw.machine import xeon_gold_5515
+from repro.sim.rng import SimRng
+from repro.tee import platform_by_name
+from repro.workloads.unixbench import (
+    BASELINE_SCORES,
+    index_for,
+    run_unixbench,
+)
+from repro.workloads.unixbench.index import system_index
+
+
+def make_kernel(profile=None):
+    return GuestKernel(ExecContext(
+        machine=xeon_gold_5515(),
+        profile=profile if profile is not None else CostProfile(noise_sigma=0.0),
+        rng=SimRng(5),
+    ))
+
+
+class TestIndexScoring:
+    def test_baseline_is_sparcstation_constants(self):
+        """The classic suite's index.base values."""
+        assert BASELINE_SCORES["dhry2"][1] == 116_700.0
+        assert BASELINE_SCORES["whetstone"][1] == 55.0
+        assert BASELINE_SCORES["context1"][1] == 4_000.0
+        assert BASELINE_SCORES["syscall"][1] == 15_000.0
+        assert len(BASELINE_SCORES) == 11
+
+    def test_index_is_ten_at_baseline(self):
+        assert index_for("dhry2", 116_700.0) == pytest.approx(10.0)
+
+    def test_index_scales_linearly(self):
+        assert index_for("pipe", 2 * 12_440.0) == pytest.approx(20.0)
+
+    def test_unknown_test_rejected(self):
+        with pytest.raises(WorkloadError):
+            index_for("nope", 1.0)
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(WorkloadError):
+            index_for("pipe", -1.0)
+
+    def test_system_index_geometric_mean(self):
+        assert system_index({"a": 10.0, "b": 40.0}) == pytest.approx(20.0)
+
+    def test_system_index_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            system_index({})
+
+    def test_system_index_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            system_index({"a": 0.0})
+
+
+class TestSuiteRun:
+    def test_all_eleven_tests_run(self):
+        report = run_unixbench(make_kernel(), scale=0.2)
+        assert len(report.scores) == 11
+        assert {score.key for score in report.scores} == set(BASELINE_SCORES)
+
+    def test_scores_positive(self):
+        report = run_unixbench(make_kernel(), scale=0.2)
+        for score in report.scores:
+            assert score.score > 0, score.key
+            assert score.index > 0, score.key
+
+    def test_system_index_positive(self):
+        report = run_unixbench(make_kernel(), scale=0.2)
+        assert report.system_index > 0
+
+    def test_score_of_lookup(self):
+        report = run_unixbench(make_kernel(), scale=0.2)
+        assert report.score_of("pipe").key == "pipe"
+        with pytest.raises(WorkloadError):
+            report.score_of("nope")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_unixbench(make_kernel(), scale=0)
+
+    def test_scale_cancels_in_scores(self):
+        """Scores are rates: iteration count should roughly cancel."""
+        small = run_unixbench(make_kernel(), scale=0.2)
+        large = run_unixbench(make_kernel(), scale=0.6)
+        ratio = small.score_of("syscall").score / large.score_of("syscall").score
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_filesystem_left_clean(self):
+        kernel = make_kernel()
+        run_unixbench(kernel, scale=0.2)
+        assert kernel.fs.total_files() == 0
+
+    def test_context_switches_recorded(self):
+        kernel = make_kernel()
+        run_unixbench(kernel, scale=0.2)
+        assert kernel.ctx.machine.counters.context_switches > 0
+
+
+class TestTeeShape:
+    """Fig. 4's ordering: TDX least overhead, then SEV-SNP, CCA worst."""
+
+    @staticmethod
+    def index_ratio(platform_name, trials=6):
+        import statistics
+
+        platform = platform_by_name(platform_name, seed=8)
+        secure = platform.create_vm()
+        secure.boot()
+        normal = platform.create_vm()
+        normal.config.secure = False
+        normal.boot()
+        s = statistics.fmean(
+            secure.run(lambda k: run_unixbench(k, scale=0.3).system_index,
+                       name="ub", trial=i).output
+            for i in range(trials)
+        )
+        n = statistics.fmean(
+            normal.run(lambda k: run_unixbench(k, scale=0.3).system_index,
+                       name="ub", trial=i).output
+            for i in range(trials)
+        )
+        return n / s    # > 1 means the secure VM is slower
+
+    def test_every_tee_slower_than_normal(self):
+        for name in ("tdx", "sev-snp", "cca"):
+            assert self.index_ratio(name) > 1.05, name
+
+    def test_ordering_tdx_sev_cca(self):
+        tdx = self.index_ratio("tdx")
+        sev = self.index_ratio("sev-snp")
+        cca = self.index_ratio("cca")
+        assert tdx < sev < cca
+
+    def test_transition_counts_explain_overhead(self):
+        """The paper (citing Misono et al.) attributes UnixBench
+        slowdowns to frequent world switches; check they happen."""
+        platform = platform_by_name("tdx", seed=8)
+        vm = platform.create_vm()
+        vm.boot()
+        result = vm.run(lambda k: run_unixbench(k, scale=0.3).system_index,
+                        name="ub")
+        assert result.counters.vm_transitions > 100
