@@ -1,0 +1,63 @@
+"""Bench E9 — the parallel trial executor on the Fig. 6 sweep.
+
+The trials of a plan are pure functions of their specs, so the
+parallel executor must (a) return byte-identical results to the
+serial one and (b) actually go faster when cores are available.
+
+(a) is asserted unconditionally.  (b) — the >= 2x wall-clock speedup
+with 4 workers — only on machines with >= 4 cores, since a speedup
+assertion is meaningless on a starved runner.
+"""
+
+import json
+import os
+import time
+
+from repro.core.runner import TrialPlan, TrialRunner
+
+#: A Fig. 6-shaped sweep big enough to amortise pool start-up: 2
+#: platforms x 2 languages x 4 workloads x 4 trials x 2 modes.
+SWEEP = dict(
+    kind="faas",
+    platforms=("tdx", "sev-snp"),
+    workloads=("cpustress", "memstress", "iostress", "logging"),
+    runtimes=("python", "lua"),
+    trials=4,
+    seed=1,
+)
+
+SPEEDUP_JOBS = 4
+MIN_SPEEDUP = 2.0
+
+
+def payload(results):
+    return json.dumps([r.to_dict() for r in results], sort_keys=True)
+
+
+def timed(runner, plan):
+    start = time.perf_counter()
+    results = runner.run(plan)
+    return time.perf_counter() - start, results
+
+
+def test_parallel_heatmap_sweep(capsys):
+    plan = TrialPlan.matrix(**SWEEP)
+
+    serial_s, serial = timed(TrialRunner(), plan)
+    parallel_s, parallel = timed(TrialRunner(jobs=SPEEDUP_JOBS), plan)
+
+    # determinism: the experiment JSON must match byte for byte
+    assert payload(serial) == payload(parallel)
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    with capsys.disabled():
+        print(f"\n{len(plan)} trials: serial {serial_s:.2f}s, "
+              f"{SPEEDUP_JOBS} jobs {parallel_s:.2f}s "
+              f"({speedup:.2f}x, {cores} cores)")
+
+    if cores >= SPEEDUP_JOBS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x with {SPEEDUP_JOBS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.attest.crypto import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.attest.crypto import RsaKeyPair, RsaPublicKey, derived_keypair
 from repro.errors import CertificateError, CrlError
 from repro.sim.rng import SimRng
 
@@ -104,7 +104,7 @@ class CertificateAuthority:
         key_bits: int = 1024,
     ) -> None:
         self.name = name
-        self.keypair: RsaKeyPair = generate_keypair(rng.child(f"ca/{name}"), key_bits)
+        self.keypair: RsaKeyPair = derived_keypair(rng, f"ca/{name}", key_bits)
         self.issuer_ca = issuer_ca
         self._next_serial = 1
         self._revoked: set[int] = set()

@@ -167,6 +167,32 @@ def generate_keypair(rng: SimRng, bits: int = 1024, e: int = 65537) -> RsaKeyPai
         return RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d)
 
 
+#: Process-level cache for :func:`derived_keypair`.  Keyed by the
+#: parent stream's (seed, label) plus the child label and key size —
+#: which fully determine the generated key, because child streams are
+#: label-derived (fresh state) rather than split off the parent's
+#: consumed state.
+_KEYPAIR_CACHE: dict[tuple[int, str, str, int], RsaKeyPair] = {}
+
+
+def derived_keypair(parent: SimRng, label: str,
+                    bits: int = 1024) -> RsaKeyPair:
+    """``generate_keypair(parent.child(label), bits)``, memoized.
+
+    Miller-Rabin prime generation in pure Python is the wall-clock
+    hot spot of attestation infrastructure bring-up; since the result
+    is a pure function of ``(parent.seed, parent.label, label, bits)``
+    it is cached per process, so per-trial infrastructure rebuilds
+    (the runner pipeline's purity requirement) stop paying for keygen.
+    """
+    key = (parent.seed, parent.label, label, bits)
+    cached = _KEYPAIR_CACHE.get(key)
+    if cached is None:
+        cached = generate_keypair(parent.child(label), bits)
+        _KEYPAIR_CACHE[key] = cached
+    return cached
+
+
 # Virtual-time cost constants for the attestation experiment.  Real
 # hardware does RSA/ECDSA far faster than pure Python, so the bench
 # charges these calibrated figures instead of wall-clock time.

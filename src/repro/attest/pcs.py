@@ -22,7 +22,7 @@ from repro.attest.certs import (
     CertificateAuthority,
     CertificateRevocationList,
 )
-from repro.attest.crypto import RsaKeyPair, generate_keypair
+from repro.attest.crypto import RsaKeyPair, derived_keypair
 from repro.errors import AttestationError
 from repro.guestos.context import ExecContext
 from repro.hw.nic import NicModel, wan_path
@@ -77,8 +77,8 @@ class IntelPcs:
         )
         self.fmspc = fmspc
         self.tcb_svn = tcb_svn
-        self._tcb_signing_key: RsaKeyPair = generate_keypair(
-            self.rng.child("tcb-signing")
+        self._tcb_signing_key: RsaKeyPair = derived_keypair(
+            self.rng, "tcb-signing"
         )
         self.tcb_signing_cert = self.root_ca.issue(
             "Intel TCB Signing", self._tcb_signing_key.public

@@ -24,7 +24,7 @@ from repro.attest.crypto import (
     DIGEST_COST_PER_BYTE_NS,
     SIGN_COST_NS,
     RsaKeyPair,
-    generate_keypair,
+    derived_keypair,
 )
 from repro.errors import AttestationError
 from repro.guestos.context import ExecContext
@@ -68,7 +68,7 @@ class AmdKeyInfrastructure:
         self.ask = CertificateAuthority(
             "AMD SEV Key (ASK)", rng, issuer_ca=self.ark
         )
-        self._vcek_key: RsaKeyPair = generate_keypair(rng.child(f"vcek/{chip_id}"))
+        self._vcek_key: RsaKeyPair = derived_keypair(rng, f"vcek/{chip_id}")
         self.vcek_cert: Certificate = self.ask.issue(
             f"VCEK {chip_id}", self._vcek_key.public, extensions={"chip_id": chip_id}
         )

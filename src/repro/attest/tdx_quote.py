@@ -23,7 +23,7 @@ from repro.attest.crypto import (
     DIGEST_COST_PER_BYTE_NS,
     SIGN_COST_NS,
     RsaKeyPair,
-    generate_keypair,
+    derived_keypair,
 )
 from repro.attest.pcs import IntelPcs
 from repro.errors import AttestationError
@@ -77,9 +77,9 @@ class QuotingEnclave:
 
     def __init__(self, pcs: IntelPcs, rng: SimRng, platform_id: str = "tdx-host-0") -> None:
         self.platform_id = platform_id
-        self._pck_key: RsaKeyPair = generate_keypair(rng.child("pck-key"))
+        self._pck_key: RsaKeyPair = derived_keypair(rng, "pck-key")
         self.pck_cert = pcs.provision_pck(platform_id, self._pck_key.public)
-        self._attestation_key: RsaKeyPair = generate_keypair(rng.child("ak"))
+        self._attestation_key: RsaKeyPair = derived_keypair(rng, "ak")
         # The PCK key certifies the attestation key (QE report binding
         # in real DCAP; modelled as a certificate here).
         self.ak_cert = Certificate(

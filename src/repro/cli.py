@@ -73,6 +73,17 @@ def _build_parser() -> argparse.ArgumentParser:
     ))
     experiment.add_argument("--quick", action="store_true",
                             help="reduced grid for a fast look")
+    experiment.add_argument("-j", "--jobs", type=int, default=1,
+                            help="worker processes for trial execution "
+                                 "(default 1 = serial; results are "
+                                 "bit-identical either way)")
+    experiment.add_argument("-t", "--trials", type=int, default=None,
+                            help="override the artifact's trial count")
+    experiment.add_argument("--cache", metavar="FILE",
+                            help="JSONL result cache keyed by trial spec "
+                                 "hash; repeated runs skip finished trials")
+    experiment.add_argument("--trace-out", metavar="FILE",
+                            help="dump every trial's span trace as JSON")
     return parser
 
 
@@ -164,29 +175,48 @@ def _cmd_serve(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from repro import experiments
+    from repro.core.runner import TrialRunner
+
+    cache = None
+    if args.cache:
+        from repro.core.resultstore import SpecResultCache
+
+        cache = SpecResultCache(args.cache)
+    runner = TrialRunner(jobs=args.jobs, cache=cache)
+
+    def trials(default: int) -> int:
+        return args.trials if args.trials is not None else default
 
     quick = args.quick
     small_workloads = ("cpustress", "memstress", "iostress", "logging",
                        "factors", "filesystem")
     small_langs = ("python", "lua", "go")
+    status = 0
     if args.name == "all":
         from repro.experiments.summary import run_evaluation
 
-        summary = run_evaluation(seed=args.seed, quick=args.quick)
+        summary = run_evaluation(seed=args.seed, quick=args.quick,
+                                 runner=runner)
         print(summary.render())
-        return 0 if summary.all_hold else 1
-    if args.name == "fig3":
+        status = 0 if summary.all_hold else 1
+    elif args.name == "fig3":
         result = experiments.run_fig3(
             seed=args.seed,
             image_count=10 if quick else 40,
-            trials=1 if quick else 3,
+            trials=trials(1 if quick else 3),
+            runner=runner,
         )
+        print(result.render())
     elif args.name == "fig4":
         result = experiments.run_fig4(seed=args.seed,
-                                      trials=3 if quick else 5)
+                                      trials=trials(3 if quick else 5),
+                                      runner=runner)
+        print(result.render())
     elif args.name == "fig5":
         result = experiments.run_fig5(seed=args.seed,
-                                      trials=3 if quick else 10)
+                                      trials=trials(3 if quick else 10),
+                                      runner=runner)
+        print(result.render())
     elif args.name == "fig6":
         result = experiments.run_fig6(
             seed=args.seed,
@@ -194,8 +224,10 @@ def _cmd_experiment(args) -> int:
             experiments.fig6_heatmap.FIGURE_WORKLOAD_NAMES,
             languages=small_langs if quick else
             experiments.fig6_heatmap.RUNTIME_NAMES,
-            trials=3 if quick else 10,
+            trials=trials(3 if quick else 10),
+            runner=runner,
         )
+        print(result.render())
     elif args.name == "fig7":
         result = experiments.run_fig7(
             seed=args.seed,
@@ -203,22 +235,32 @@ def _cmd_experiment(args) -> int:
             experiments.fig6_heatmap.FIGURE_WORKLOAD_NAMES,
             languages=small_langs if quick else
             experiments.fig6_heatmap.RUNTIME_NAMES,
-            trials=3 if quick else 10,
+            trials=trials(3 if quick else 10),
+            runner=runner,
         )
+        print(result.render())
     elif args.name == "fig8":
         result = experiments.run_fig8(
             seed=args.seed,
             workloads=small_workloads if quick else
             experiments.fig6_heatmap.FIGURE_WORKLOAD_NAMES,
-            trials=10,
+            trials=trials(10),
+            runner=runner,
         )
+        print(result.render())
     else:
         result = experiments.run_dbms_table(
             seed=args.seed, size=20 if quick else 100,
-            trials=2 if quick else 3,
+            trials=trials(2 if quick else 3),
+            runner=runner,
         )
-    print(result.render())
-    return 0
+        print(result.render())
+    if args.trace_out:
+        from repro.experiments.report import dump_traces
+
+        count = dump_traces(runner.history, args.trace_out)
+        print(f"wrote {count} trial traces -> {args.trace_out}")
+    return status
 
 
 _COMMANDS = {

@@ -23,6 +23,9 @@ The pieces map one-to-one onto the paper's architecture (Fig. 2):
   interface over real HTTP (stdlib), plus a Python client.
 - :mod:`repro.core.api` — the high-level :class:`ConfBench` facade
   the examples and experiment harnesses use.
+- :mod:`repro.core.runner` — the unified trial-execution pipeline
+  (:class:`TrialPlan` → :class:`TrialRunner`, serial or parallel)
+  every experiment harness runs on.
 """
 
 from repro.core.api import ConfBench
@@ -34,6 +37,13 @@ from repro.core.monitor import PerfMonitor, PerfReport
 from repro.core.pool import LoadBalancingPolicy, TeePool
 from repro.core.relay import TcpRelay
 from repro.core.results import InvocationRecord, RatioSummary, summarize_ratio
+from repro.core.runner import (
+    ParallelTrialExecutor,
+    SerialTrialExecutor,
+    TrialPlan,
+    TrialRunner,
+    TrialSpec,
+)
 from repro.core.storage import FunctionStore, StoredFunction
 
 __all__ = [
@@ -54,4 +64,9 @@ __all__ = [
     "summarize_ratio",
     "FunctionStore",
     "StoredFunction",
+    "TrialSpec",
+    "TrialPlan",
+    "TrialRunner",
+    "SerialTrialExecutor",
+    "ParallelTrialExecutor",
 ]

@@ -21,6 +21,7 @@ from repro.core.launcher import FunctionLauncher, native_launcher
 from repro.core.monitor import PerfMonitor
 from repro.core.pool import LoadBalancingPolicy, TeePool
 from repro.core.results import InvocationRecord
+from repro.core.runner import TrialRunner
 from repro.core.storage import FunctionStore
 from repro.errors import GatewayError
 from repro.tee.registry import platform_by_name
@@ -41,8 +42,13 @@ class InvocationRequest:
 class Gateway:
     """Receives, dispatches, and returns workload requests."""
 
-    def __init__(self, config: GatewayConfig | None = None) -> None:
+    def __init__(self, config: GatewayConfig | None = None,
+                 runner: TrialRunner | None = None) -> None:
         self.config = config if config is not None else default_config()
+        # Gateway trials run against long-lived pool VMs (stateful),
+        # so they go through the runner's in-process trial loop rather
+        # than the spec-parallel path.
+        self.runner = runner if runner is not None else TrialRunner()
         self.store = FunctionStore()
         self.hosts: dict[str, Host] = {}
         self.pools: dict[tuple[str, bool], TeePool] = {}
@@ -109,18 +115,18 @@ class Gateway:
         pool = self._pool(request.platform, request.secure)
         monitor = self.monitors[request.platform]
         platform = self.hosts[request.platform].platform
-        records = []
-        for trial in range(trials):
+        def one_trial(trial: int) -> InvocationRecord:
             run = pool.run_resilient(body, name=request.function, trial=trial)
             report = monitor.collect(run)
-            records.append(InvocationRecord.from_run(
+            return InvocationRecord.from_run(
                 run,
                 function=request.function,
                 language=request.language,
                 perf=dict(report.events),
                 transport_ns=self.dispatch_model.round_trip_ns(platform),
-            ))
-        return records
+            )
+
+        return self.runner.run_trials(trials, one_trial)
 
     def invoke_native(self, name: str, fn, platform: str, secure: bool,
                       trials: int = 1, *fn_args,
@@ -133,14 +139,15 @@ class Gateway:
         body = native_launcher(fn, *fn_args, **fn_kwargs)
         pool = self._pool(platform, secure)
         monitor = self.monitors[platform]
-        records = []
-        for trial in range(trials):
+
+        def one_trial(trial: int) -> InvocationRecord:
             run = pool.run_resilient(body, name=name, trial=trial)
             report = monitor.collect(run)
-            records.append(InvocationRecord.from_run(
+            return InvocationRecord.from_run(
                 run, function=name, language=None, perf=dict(report.events),
-            ))
-        return records
+            )
+
+        return self.runner.run_trials(trials, one_trial)
 
     # -- introspection -----------------------------------------------------------
 

@@ -6,6 +6,11 @@ as JSON-lines with run metadata (seed, version, label), reloaded for
 analysis, and two archived runs can be diffed for ratio drift (useful
 for regression-tracking TEE stacks across firmware/kernel updates,
 exactly the before/after comparison §III-B's firmware anecdote needed).
+
+:class:`SpecResultCache` is the runner-pipeline counterpart: a
+spec-hash keyed archive of :class:`~repro.tee.vm.RunResult` payloads,
+so re-running an experiment with identical trial specs skips the
+completed trials and replays their archived results.
 """
 
 from __future__ import annotations
@@ -111,6 +116,62 @@ class ResultStore:
         if not matches:
             raise GatewayError(f"no archived run labelled {label!r}")
         return matches[-1]
+
+
+class SpecResultCache:
+    """Spec-hash keyed JSONL cache of completed trial results.
+
+    Each line is ``{"hash": <spec content hash>, "result": <RunResult
+    JSON>}``; the newest entry for a hash wins.  Passed to
+    :class:`repro.core.runner.TrialRunner` to make experiment re-runs
+    incremental: a trial whose spec hash is already cached is not
+    executed again.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if not self.path.parent.is_dir():
+            raise GatewayError(
+                f"cache directory does not exist: {self.path.parent}")
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path.exists():
+            with self.path.open(encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise GatewayError(
+                            f"{self.path}:{line_number}: bad JSON: {exc}"
+                        ) from exc
+                    self._entries[payload["hash"]] = payload["result"]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, spec):
+        """The archived result for ``spec``, or None on a miss."""
+        from repro.tee.vm import RunResult
+
+        payload = self._entries.get(spec.content_hash())
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult.from_dict(payload)
+
+    def put(self, spec, result) -> None:
+        """Archive ``result`` under ``spec``'s content hash."""
+        spec_hash = spec.content_hash()
+        payload = result.to_dict()
+        self._entries[spec_hash] = payload
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"hash": spec_hash, "result": payload})
+                         + "\n")
 
 
 def compare_runs(before: ArchivedRun,

@@ -1,0 +1,541 @@
+"""Unified trial-execution pipeline: TrialPlan → TrialRunner.
+
+The paper's methodology has one fixed shape — boot a secure/normal VM
+pair per platform, run N independent trials per (workload, runtime)
+cell, aggregate — and every harness used to re-implement that loop by
+hand.  This module lifts it into three pieces:
+
+- :class:`TrialSpec` — a declarative, content-hashable description of
+  ONE trial: (kind, platform, secure, workload, runtime, trial index,
+  root seed, parameters).  A spec fully determines its result: the
+  per-trial RNG substream is derived from the spec alone, never from
+  VM identity or execution order.
+- :class:`TrialPlan` — an ordered tuple of specs.  The standard
+  builder (:meth:`TrialPlan.matrix`) interleaves (secure, normal) per
+  trial index, the ordering the paper's matched-trials methodology
+  implies.
+- :class:`TrialRunner` — executes a plan through a pluggable executor:
+  :class:`SerialTrialExecutor` (default) or the
+  :class:`ParallelTrialExecutor` backed by a ``ProcessPoolExecutor``
+  with a ``jobs`` knob.  Because every trial is a pure function of its
+  spec, parallel and serial execution produce bit-identical results.
+
+Workload *bodies* (the callables a VM executes) cannot be pickled to
+worker processes, so specs reference them declaratively through a
+body-factory registry keyed by ``kind``; workers rebuild (and memoize)
+the body from the spec.  Use :func:`body_factory` to register custom
+kinds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Iterator, Protocol, Sequence
+
+from repro.errors import GatewayError
+from repro.sim.rng import SimRng, derive_seed
+from repro.sim.trace import Trace
+from repro.tee.base import VmConfig
+from repro.tee.registry import platform_by_name
+from repro.tee.vm import RunResult
+
+
+class RunnerError(GatewayError):
+    """Errors from the trial-execution pipeline."""
+
+
+# ---------------------------------------------------------------------------
+# Trial specs and plans
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """A declarative description of one independent trial.
+
+    ``params_json`` is a canonical (sorted-key) JSON encoding of the
+    body parameters so that specs stay hashable and their content hash
+    is stable; build specs through :meth:`make` to get the
+    canonicalisation for free.
+    """
+
+    kind: str                   # body-factory key ("faas", "ml", ...)
+    platform: str               # TEE platform name ("tdx", "sev-snp", ...)
+    secure: bool                # confidential vs normal VM
+    workload: str               # workload name within the kind
+    runtime: str | None         # language runtime; None for classic
+    trial: int                  # trial index within the cell
+    seed: int                   # experiment root seed
+    params_json: str = "{}"     # canonical JSON of body parameters
+    contention: float = 1.0     # host oversubscription factor
+
+    @classmethod
+    def make(cls, kind: str, platform: str, secure: bool, workload: str,
+             trial: int, seed: int, runtime: str | None = None,
+             params: dict[str, Any] | None = None,
+             contention: float = 1.0) -> "TrialSpec":
+        """Build a spec, canonicalising ``params`` into JSON."""
+        if trial < 0:
+            raise RunnerError(f"trial index must be >= 0, got {trial}")
+        return cls(
+            kind=kind, platform=platform, secure=secure, workload=workload,
+            runtime=runtime, trial=trial, seed=seed,
+            params_json=json.dumps(params or {}, sort_keys=True,
+                                   separators=(",", ":")),
+            contention=contention,
+        )
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """The decoded body parameters."""
+        return json.loads(self.params_json)
+
+    @property
+    def run_name(self) -> str:
+        """The workload name recorded on results (matches the legacy
+        harnesses: FaaS cells are ``workload/runtime``)."""
+        if self.runtime is not None:
+            return f"{self.workload}/{self.runtime}"
+        return self.workload
+
+    @property
+    def cell(self) -> tuple[str, str, str | None, bool]:
+        """Aggregation key: (platform, workload, runtime, secure)."""
+        return (self.platform, self.workload, self.runtime, self.secure)
+
+    def derived_seed(self) -> int:
+        """The per-trial seed, a pure function of the spec.
+
+        Derived from (root seed, kind, workload, runtime, platform,
+        secure, trial) — NOT from VM identity or how many other trials
+        ran before this one — so trial K's jitter is unchanged when the
+        total trial count changes and when trials run out of order on
+        the parallel executor.
+        """
+        return derive_seed(self.seed, self._stream_label())
+
+    def _stream_label(self) -> str:
+        side = "secure" if self.secure else "normal"
+        return (f"trial/{self.kind}/{self.workload}/"
+                f"{self.runtime or 'native'}/{self.platform}/{side}/"
+                f"{self.trial}")
+
+    def rng(self) -> SimRng:
+        """The trial's independent RNG substream."""
+        return SimRng(self.seed, self._stream_label())
+
+    def content_hash(self) -> str:
+        """Stable digest of everything that determines the result."""
+        blob = json.dumps({
+            "kind": self.kind,
+            "platform": self.platform,
+            "secure": self.secure,
+            "workload": self.workload,
+            "runtime": self.runtime,
+            "trial": self.trial,
+            "seed": self.seed,
+            "params": self.params_json,
+            "contention": self.contention,
+        }, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """An ordered collection of trial specs (the unit a runner runs)."""
+
+    specs: tuple[TrialSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise RunnerError("a trial plan needs at least one spec")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[TrialSpec]:
+        return iter(self.specs)
+
+    def content_hash(self) -> str:
+        """Digest over the member specs, order-sensitive."""
+        digest = hashlib.sha256()
+        for spec in self.specs:
+            digest.update(spec.content_hash().encode())
+        return digest.hexdigest()
+
+    @classmethod
+    def matrix(
+        cls,
+        kind: str,
+        platforms: Sequence[str],
+        workloads: Sequence[str],
+        trials: int,
+        seed: int,
+        runtimes: Sequence[str | None] = (None,),
+        secure_modes: Sequence[bool] = (True, False),
+        params: dict[str, Any] | None = None,
+        contention: float = 1.0,
+    ) -> "TrialPlan":
+        """The standard experiment sweep.
+
+        Ordering is platform → runtime → workload → trial →
+        (secure, normal): matched secure/normal trials are adjacent
+        per trial index (satisfying the paper's matched-trials
+        methodology) and whole cells stay contiguous for aggregation.
+        """
+        if trials < 1:
+            raise RunnerError(f"need at least one trial, got {trials}")
+        specs = tuple(
+            TrialSpec.make(kind=kind, platform=platform, secure=secure,
+                           workload=workload, runtime=runtime, trial=trial,
+                           seed=seed, params=params, contention=contention)
+            for platform in platforms
+            for runtime in runtimes
+            for workload in workloads
+            for trial in range(trials)
+            for secure in secure_modes
+        )
+        return cls(specs=specs)
+
+
+# ---------------------------------------------------------------------------
+# Body factories: declarative workload → executable body
+# ---------------------------------------------------------------------------
+
+_BODY_FACTORIES: dict[str, Callable[[TrialSpec], Callable]] = {}
+
+
+def body_factory(kind: str):
+    """Register a body factory for a spec ``kind``.
+
+    The factory receives the spec and returns the VM-executable body
+    (a callable taking the guest kernel).  Factories must be
+    importable at module scope — worker processes re-import this
+    module to rebuild bodies — and the returned body must be reusable
+    across trials (it is memoized per unique spec parameters).
+    """
+
+    def decorate(factory: Callable[[TrialSpec], Callable]):
+        _BODY_FACTORIES[kind] = factory
+        return factory
+
+    return decorate
+
+
+@lru_cache(maxsize=128)
+def _cached_body(kind: str, workload: str, runtime: str | None,
+                 params_json: str, platform: str) -> Callable:
+    factory = _BODY_FACTORIES.get(kind)
+    if factory is None:
+        known = ", ".join(sorted(_BODY_FACTORIES)) or "(none)"
+        raise RunnerError(f"unknown trial kind {kind!r}; registered: {known}")
+    spec = TrialSpec(kind=kind, platform=platform, secure=True,
+                     workload=workload, runtime=runtime, trial=0, seed=0,
+                     params_json=params_json)
+    return factory(spec)
+
+
+def build_body(spec: TrialSpec) -> Callable:
+    """Resolve (and memoize) the executable body for a spec.
+
+    Memoization keys on everything body construction may read — kind,
+    workload, runtime, params, platform — but NOT on trial/seed/secure,
+    so expensive setup (e.g. the Fig. 3 model + dataset) happens once
+    per worker process rather than once per trial.
+    """
+    return _cached_body(spec.kind, spec.workload, spec.runtime,
+                        spec.params_json, spec.platform)
+
+
+@body_factory("faas")
+def _faas_body(spec: TrialSpec) -> Callable:
+    """A FaaS function under a language runtime (Figs. 6/7/8)."""
+    from repro.core.launcher import FunctionLauncher
+    from repro.workloads.faas.registry import workload_by_name
+
+    if spec.runtime is None:
+        raise RunnerError("faas trials need a runtime (language)")
+    workload = workload_by_name(spec.workload)
+    launcher = FunctionLauncher.for_language(spec.runtime)
+    return launcher.launch(workload, spec.params.get("args") or None)
+
+
+@body_factory("ml")
+def _ml_body(spec: TrialSpec) -> Callable:
+    """MobileNet inference over the synthetic image set (Fig. 3)."""
+    from repro.workloads.ml import (
+        MobileNetLite,
+        generate_dataset,
+        run_inference_workload,
+    )
+
+    params = spec.params
+    model = MobileNetLite(seed=params.get("model_seed", 0))
+    dataset = generate_dataset(count=params.get("count", 40),
+                               side=params.get("side", 296),
+                               seed=params.get("dataset_seed", 0))
+
+    def body(kernel):
+        return [
+            r.elapsed_ns
+            for r in run_inference_workload(kernel, model, dataset)
+        ]
+
+    return body
+
+
+@body_factory("unixbench")
+def _unixbench_body(spec: TrialSpec) -> Callable:
+    """The UnixBench-style suite (Fig. 4)."""
+    from repro.workloads.unixbench import run_unixbench
+
+    scale = spec.params.get("scale", 1.0)
+
+    def body(kernel):
+        report = run_unixbench(kernel, scale=scale)
+        return {
+            "index": report.system_index,
+            "tests": {s.key: s.elapsed_ns for s in report.scores},
+        }
+
+    return body
+
+
+@body_factory("speedtest")
+def _speedtest_body(spec: TrialSpec) -> Callable:
+    """The mini-DBMS speedtest suite (§IV-C table)."""
+    from repro.workloads.dbms import Database, KernelCostHooks, run_speedtest
+    from repro.workloads.dbms.speedtest import DEFAULT_SIZE
+
+    size = spec.params.get("size", DEFAULT_SIZE)
+
+    def body(kernel):
+        database = Database(hooks=KernelCostHooks(kernel))
+        return [
+            (r.test_id, r.name, r.elapsed_ns)
+            for r in run_speedtest(database, size=size,
+                                   clock=kernel.ctx.elapsed_ns)
+        ]
+
+    return body
+
+
+@body_factory("attestation")
+def _attestation_body(spec: TrialSpec) -> Callable:
+    """One attest + check round, phases traced as sub-spans (Fig. 5)."""
+    from repro.attest import (
+        AmdKeyInfrastructure,
+        IntelPcs,
+        QuotingEnclave,
+        SnpVerifier,
+        TdxVerifier,
+        generate_snp_report,
+        generate_tdx_quote,
+    )
+    from repro.errors import AttestationError
+    from repro.tee.sevsnp import AmdSecureProcessor
+    from repro.tee.tdx import TdxModule
+
+    flavor = spec.workload
+    if flavor not in ("tdx-attestation", "snp-attestation"):
+        raise RunnerError(f"unknown attestation flavor {flavor!r}")
+    # The signing infrastructure (Intel PCS, AMD key hierarchy) is
+    # long-lived in reality: its keys do not change between trials.
+    # Deriving its stream from a params-level seed — not the per-trial
+    # stream — keeps the keys identical across trials (so the keygen
+    # cache in repro.attest.crypto hits), while rebuilding the objects
+    # per trial keeps each trial a pure function of its spec.
+    infra_seed = spec.params.get("infra_seed", 0)
+
+    def body(kernel):
+        ctx = kernel.ctx
+        infra_rng = SimRng(infra_seed, f"attest-infra/{flavor}")
+        nonce = ctx.rng.child("nonce").bytes(16)
+        trace = ctx.trace
+        if flavor == "tdx-attestation":
+            pcs = IntelPcs(infra_rng)
+            qe = QuotingEnclave(pcs, infra_rng)
+            module = TdxModule()
+            with trace.span("attest", ctx):
+                evidence = generate_tdx_quote(module, qe, pcs, ctx, nonce)
+            with trace.span("check", ctx):
+                verdict = TdxVerifier(pcs).verify(
+                    evidence, ctx, expected_report_data=nonce)
+        else:
+            keys = AmdKeyInfrastructure(infra_rng)
+            amd_sp = AmdSecureProcessor()
+            with trace.span("attest", ctx):
+                evidence = generate_snp_report(amd_sp, keys, ctx, nonce)
+            with trace.span("check", ctx):
+                verdict = SnpVerifier(keys).verify(
+                    evidence, ctx, expected_report_data=nonce)
+        if not verdict.accepted:
+            raise AttestationError(
+                f"{flavor}: verification unexpectedly rejected")
+        return {"accepted": verdict.accepted}
+
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Trial execution (the pure function both executors map over specs)
+# ---------------------------------------------------------------------------
+
+def execute_trial(spec: TrialSpec) -> RunResult:
+    """Run one trial from scratch: fresh platform, fresh VM, traced.
+
+    The result is a pure function of the spec — the platform and VM
+    are rebuilt per trial and the RNG substream comes from the spec —
+    which is what makes serial and parallel execution bit-identical.
+    """
+    platform = platform_by_name(spec.platform, seed=spec.seed)
+    vm = platform.create_vm(VmConfig(secure=spec.secure))
+    trace = Trace()
+    boot_ns = vm.boot()
+    trace.record("boot", 0.0, boot_ns)
+    body = build_body(spec)
+    return vm.run(
+        body,
+        name=spec.run_name,
+        trial=spec.trial,
+        contention=spec.contention,
+        rng=spec.rng(),
+        trace=trace,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+class TrialExecutor(Protocol):
+    """Maps the trial function over specs, preserving order."""
+
+    def map(self, fn: Callable[[TrialSpec], RunResult],
+            specs: Sequence[TrialSpec]) -> list[RunResult]:
+        ...  # pragma: no cover - protocol
+
+
+class SerialTrialExecutor:
+    """Runs trials one after another in-process (the default)."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[TrialSpec], RunResult],
+            specs: Sequence[TrialSpec]) -> list[RunResult]:
+        return [fn(spec) for spec in specs]
+
+
+class ParallelTrialExecutor:
+    """Fans trials out to a process pool.
+
+    Independent deterministic trials are embarrassingly parallel;
+    ``jobs`` caps the worker count.  Results come back in spec order,
+    and because :func:`execute_trial` is a pure function of the spec,
+    the output is bit-identical to the serial executor's.
+    """
+
+    def __init__(self, jobs: int, mp_context=None) -> None:
+        if jobs < 1:
+            raise RunnerError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._mp_context = mp_context
+
+    def map(self, fn: Callable[[TrialSpec], RunResult],
+            specs: Sequence[TrialSpec]) -> list[RunResult]:
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            return SerialTrialExecutor().map(fn, specs)
+        chunksize = max(1, len(specs) // (self.jobs * 4))
+        with ProcessPoolExecutor(max_workers=self.jobs,
+                                 mp_context=self._mp_context) as pool:
+            return list(pool.map(fn, specs, chunksize=chunksize))
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+class TrialRunner:
+    """Executes trial plans; the single entry point for all harnesses.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; 1 (default) selects the serial executor.
+    executor:
+        Explicit executor instance (overrides ``jobs``).
+    cache:
+        Optional spec-hash result cache (see
+        :class:`repro.core.resultstore.SpecResultCache`): trials whose
+        spec hash is already cached are skipped and their archived
+        results returned in place.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 executor: TrialExecutor | None = None,
+                 cache=None) -> None:
+        if jobs < 1:
+            raise RunnerError(f"jobs must be >= 1, got {jobs}")
+        if executor is not None:
+            self.executor = executor
+        elif jobs > 1:
+            self.executor = ParallelTrialExecutor(jobs)
+        else:
+            self.executor = SerialTrialExecutor()
+        self.cache = cache
+        #: (plan, results) pairs from every ``run`` call, in order —
+        #: what ``report.trace_payload`` serialises for trace dumps.
+        self.history: list[tuple[TrialPlan, list[RunResult]]] = []
+
+    # -- spec-based execution (parallelizable) -------------------------
+
+    def run(self, plan: TrialPlan) -> list[RunResult]:
+        """Execute every spec in the plan; results in spec order."""
+        results: dict[int, RunResult] = {}
+        pending: list[tuple[int, TrialSpec]] = []
+        for index, spec in enumerate(plan):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append((index, spec))
+        if pending:
+            fresh = self.executor.map(execute_trial,
+                                      [spec for _, spec in pending])
+            for (index, spec), result in zip(pending, fresh):
+                if self.cache is not None:
+                    self.cache.put(spec, result)
+                results[index] = result
+        ordered = [results[index] for index in range(len(plan))]
+        self.history.append((plan, ordered))
+        return ordered
+
+    def run_cells(self, plan: TrialPlan) -> dict[tuple, list[RunResult]]:
+        """Execute a plan and group results by spec ``cell``.
+
+        Returns ``{(platform, workload, runtime, secure): [results in
+        trial order]}`` — the shape every aggregating harness wants.
+        """
+        grouped: dict[tuple, list[RunResult]] = {}
+        for spec, result in zip(plan, self.run(plan)):
+            grouped.setdefault(spec.cell, []).append(result)
+        return grouped
+
+    # -- stateful execution (gateway pools; always in-process) ---------
+
+    def run_trials(self, trials: int,
+                   fn: Callable[[int], Any]) -> list[Any]:
+        """Run ``fn(trial)`` for each trial index, serially in-process.
+
+        For callables bound to live state (the gateway's TEE pools)
+        that cannot be shipped to worker processes; the structured
+        replacement for hand-rolled ``for t in range(trials)`` loops.
+        """
+        if trials < 1:
+            raise RunnerError(f"trials must be >= 1, got {trials}")
+        return [fn(trial) for trial in range(trials)]

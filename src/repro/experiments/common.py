@@ -2,7 +2,9 @@
 
 Builders for the secure/normal VM pairs the paper's testbed keeps on
 each host ("in each host we created two VMs: a VM with TEE-backed
-security guarantees and a 'normal' VM"), plus trial runners.
+security guarantees and a 'normal' VM"), plus the aggregation helpers
+the harnesses use on top of the unified trial pipeline
+(:mod:`repro.core.runner`).
 """
 
 from __future__ import annotations
@@ -11,9 +13,10 @@ import statistics
 from dataclasses import dataclass
 
 from repro.core.launcher import FunctionLauncher
+from repro.core.runner import TrialPlan, TrialRunner
 from repro.tee.base import VmConfig
 from repro.tee.registry import platform_by_name
-from repro.tee.vm import Vm
+from repro.tee.vm import RunResult, Vm
 from repro.workloads.faas.registry import workload_by_name
 
 #: The paper's trial count (§IV-D: "10 independent trials").
@@ -33,11 +36,18 @@ class VmPair:
     normal_vm: Vm
 
     def run_both(self, body, name: str, trials: int) -> tuple[list, list]:
-        """Matched trials on both VMs; returns (secure, normal) results."""
-        secure = [self.secure_vm.run(body, name=name, trial=t)
-                  for t in range(trials)]
-        normal = [self.normal_vm.run(body, name=name, trial=t)
-                  for t in range(trials)]
+        """Matched trials on both VMs; returns (secure, normal) results.
+
+        Trials are interleaved (secure, normal) per trial index — not
+        all-secure-then-all-normal — so accumulated VM perf counters
+        and any stateful platform randomness see the same ordering the
+        paper's matched-trials methodology implies.
+        """
+        secure: list[RunResult] = []
+        normal: list[RunResult] = []
+        for trial in range(trials):
+            secure.append(self.secure_vm.run(body, name=name, trial=trial))
+            normal.append(self.normal_vm.run(body, name=name, trial=trial))
         return secure, normal
 
 
@@ -53,9 +63,11 @@ def make_pair(platform_name: str, seed: int = 0) -> VmPair:
 
 def faas_ratio(pair: VmPair, workload_name: str, language: str,
                trials: int = PAPER_TRIALS) -> tuple[float, list[float], list[float]]:
-    """Mean-time ratio for one (workload, language) cell.
+    """Mean-time ratio for one (workload, language) cell on a live pair.
 
-    Returns ``(ratio, secure_times, normal_times)``.
+    Returns ``(ratio, secure_times, normal_times)``.  The figure
+    harnesses now go through :class:`~repro.core.runner.TrialRunner`
+    instead; this remains the quick-look helper for interactive use.
     """
     workload = workload_by_name(workload_name)
     body = FunctionLauncher.for_language(language).launch(workload)
@@ -71,3 +83,35 @@ def faas_ratio(pair: VmPair, workload_name: str, language: str,
 def mean(values) -> float:
     """Arithmetic mean of an iterable."""
     return statistics.fmean(values)
+
+
+# -- runner-pipeline helpers ------------------------------------------------
+
+def default_runner(runner: TrialRunner | None) -> TrialRunner:
+    """The harnesses' runner default: serial, no cache."""
+    return runner if runner is not None else TrialRunner()
+
+
+def matched_cells(
+    runner: TrialRunner,
+    plan: TrialPlan,
+) -> dict[tuple[str, str, str | None], dict[str, list[RunResult]]]:
+    """Run a plan and pair up its secure/normal sides.
+
+    Returns ``{(platform, workload, runtime): {"secure": [...],
+    "normal": [...]}}`` with results in trial order — the shape every
+    ratio-reporting harness aggregates from.
+    """
+    paired: dict[tuple, dict[str, list[RunResult]]] = {}
+    for cell, results in runner.run_cells(plan).items():
+        platform, workload, runtime, secure = cell
+        entry = paired.setdefault((platform, workload, runtime),
+                                  {"secure": [], "normal": []})
+        entry["secure" if secure else "normal"].extend(results)
+    return paired
+
+
+def cell_ratio(sides: dict[str, list[RunResult]]) -> float:
+    """Mean secure / mean normal elapsed time for one matched cell."""
+    return (mean(r.elapsed_ns for r in sides["secure"])
+            / mean(r.elapsed_ns for r in sides["normal"]))

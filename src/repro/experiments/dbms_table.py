@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import ALL_TEES, make_pair, mean
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.experiments.common import ALL_TEES, default_runner, matched_cells, mean
 from repro.experiments.report import render_table
-from repro.workloads.dbms import Database, KernelCostHooks, run_speedtest
 from repro.workloads.dbms.speedtest import DEFAULT_SIZE
 
 
@@ -58,34 +58,31 @@ def run_dbms_table(
     size: int = DEFAULT_SIZE,
     platforms: tuple[str, ...] = ALL_TEES,
     trials: int = 3,
+    runner: TrialRunner | None = None,
 ) -> DbmsTableResult:
     """Regenerate the DBMS findings.
 
     ``size`` is speedtest1's relative test size (paper default 100).
     """
+    runner = default_runner(runner)
+    plan = TrialPlan.matrix(
+        kind="speedtest",
+        platforms=platforms,
+        workloads=("speedtest",),
+        trials=trials,
+        seed=seed,
+        params={"size": size},
+    )
     result = DbmsTableResult(size=size)
-
-    def body(kernel):
-        database = Database(hooks=KernelCostHooks(kernel))
-        return [
-            (r.test_id, r.name, r.elapsed_ns)
-            for r in run_speedtest(database, size=size,
-                                   clock=kernel.ctx.elapsed_ns)
-        ]
-
-    for platform in platforms:
-        pair = make_pair(platform, seed=seed)
+    for (platform, _, _), sides in matched_cells(runner, plan).items():
         secure_acc: dict[int, list[float]] = {}
         normal_acc: dict[int, list[float]] = {}
-        for trial in range(trials):
-            for test_id, name, elapsed in pair.secure_vm.run(
-                body, name="speedtest", trial=trial
-            ).output:
+        for run in sides["secure"]:
+            for test_id, name, elapsed in run.output:
                 result.test_names[test_id] = name
                 secure_acc.setdefault(test_id, []).append(elapsed)
-            for test_id, _, elapsed in pair.normal_vm.run(
-                body, name="speedtest", trial=trial
-            ).output:
+        for run in sides["normal"]:
+            for test_id, _, elapsed in run.output:
                 normal_acc.setdefault(test_id, []).append(elapsed)
         result.ratios[platform] = {
             test_id: mean(secure_acc[test_id]) / mean(normal_acc[test_id])

@@ -12,13 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.results import percentile_stack
-from repro.experiments.common import ALL_TEES, make_pair, mean
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.experiments.common import ALL_TEES, default_runner, matched_cells, mean
 from repro.experiments.report import render_percentile_stacks
-from repro.workloads.ml import (
-    MobileNetLite,
-    generate_dataset,
-    run_inference_workload,
-)
 
 #: The paper's dataset: 40 diversified 1 MB images.
 PAPER_IMAGE_COUNT = 40
@@ -65,6 +61,7 @@ def run_fig3(
     image_side: int = 296,
     platforms: tuple[str, ...] = ALL_TEES,
     trials: int = 1,
+    runner: TrialRunner | None = None,
 ) -> Fig3Result:
     """Regenerate Fig. 3.
 
@@ -72,29 +69,20 @@ def run_fig3(
     forward passes stay fast; the *count* and the cost accounting are
     faithful.  ``trials`` repeats the whole dataset pass.
     """
-    model = MobileNetLite(seed=seed)
-    dataset = generate_dataset(count=image_count, side=image_side, seed=seed)
+    runner = default_runner(runner)
+    plan = TrialPlan.matrix(
+        kind="ml",
+        platforms=platforms,
+        workloads=("ml",),
+        trials=trials,
+        seed=seed,
+        params={"model_seed": seed, "dataset_seed": seed,
+                "count": image_count, "side": image_side},
+    )
     result = Fig3Result(image_count=image_count)
-
-    def body(kernel):
-        return [
-            r.elapsed_ns
-            for r in run_inference_workload(kernel, model, dataset)
-        ]
-
-    for platform in platforms:
-        pair = make_pair(platform, seed=seed)
-        secure_times: list[float] = []
-        normal_times: list[float] = []
-        for trial in range(trials):
-            secure_times.extend(
-                pair.secure_vm.run(body, name="ml", trial=trial).output
-            )
-            normal_times.extend(
-                pair.normal_vm.run(body, name="ml", trial=trial).output
-            )
+    for (platform, _, _), sides in matched_cells(runner, plan).items():
         result.times[platform] = {
-            "secure": secure_times,
-            "normal": normal_times,
+            "secure": [ns for run in sides["secure"] for ns in run.output],
+            "normal": [ns for run in sides["normal"] for ns in run.output],
         }
     return result

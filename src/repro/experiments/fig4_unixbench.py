@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import ALL_TEES, make_pair, mean
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.experiments.common import ALL_TEES, default_runner, matched_cells, mean
 from repro.experiments.report import render_ratio_bars, render_table
-from repro.workloads.unixbench import run_unixbench
 
 
 @dataclass
@@ -50,23 +50,21 @@ def run_fig4(
     platforms: tuple[str, ...] = ALL_TEES,
     trials: int = 5,
     scale: float = 0.3,
+    runner: TrialRunner | None = None,
 ) -> Fig4Result:
     """Regenerate Fig. 4."""
+    runner = default_runner(runner)
+    plan = TrialPlan.matrix(
+        kind="unixbench",
+        platforms=platforms,
+        workloads=("unixbench",),
+        trials=trials,
+        seed=seed,
+        params={"scale": scale},
+    )
     result = Fig4Result()
-
-    def body(kernel):
-        report = run_unixbench(kernel, scale=scale)
-        return {
-            "index": report.system_index,
-            "tests": {s.key: s.elapsed_ns for s in report.scores},
-        }
-
-    for platform in platforms:
-        pair = make_pair(platform, seed=seed)
-        secure_runs = [pair.secure_vm.run(body, name="unixbench", trial=t)
-                       for t in range(trials)]
-        normal_runs = [pair.normal_vm.run(body, name="unixbench", trial=t)
-                       for t in range(trials)]
+    for (platform, _, _), sides in matched_cells(runner, plan).items():
+        secure_runs, normal_runs = sides["secure"], sides["normal"]
         secure_index = mean(r.output["index"] for r in secure_runs)
         normal_index = mean(r.output["index"] for r in normal_runs)
         result.index_ratios[platform] = normal_index / secure_index

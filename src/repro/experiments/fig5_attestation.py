@@ -11,29 +11,24 @@ Absolute wall-clock times (log-scale worthy) for:
 Shape targets: both SNP phases faster than their TDX counterparts;
 the TDX check dominated by PCS round-trips.  CCA is excluded — the
 FVP simulator lacks the attestation hardware (§IV-B).
+
+Each trial runs through the unified pipeline with the attest and
+check phases recorded as trace spans, so attestation network time
+(the Intel PCS fetches) shows up in the same per-span ledger format
+as every other experiment's phases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.attest import (
-    AmdKeyInfrastructure,
-    IntelPcs,
-    QuotingEnclave,
-    SnpVerifier,
-    TdxVerifier,
-    generate_snp_report,
-    generate_tdx_quote,
-)
-from repro.experiments.common import mean
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.experiments.common import default_runner, mean
 from repro.experiments.report import render_log_bars
-from repro.guestos.context import ExecContext
-from repro.hw.machine import epyc_9124, xeon_gold_5515
 from repro.sim.ledger import CostCategory
-from repro.sim.rng import SimRng
-from repro.tee.sevsnp import AmdSecureProcessor
-from repro.tee.tdx import TdxModule
+
+#: platform -> the attestation trial flavor the body factory resolves.
+_FLAVORS = {"tdx": "tdx-attestation", "sev-snp": "snp-attestation"}
 
 
 @dataclass
@@ -57,52 +52,41 @@ class Fig5Result:
         )
 
 
-def run_fig5(seed: int = 0, trials: int = 5) -> Fig5Result:
+def run_fig5(seed: int = 0, trials: int = 5,
+             runner: TrialRunner | None = None) -> Fig5Result:
     """Regenerate Fig. 5 (TDX and SEV-SNP only, as in the paper)."""
-    rng = SimRng(seed, "fig5")
-    pcs = IntelPcs(rng)
-    qe = QuotingEnclave(pcs, rng)
-    module = TdxModule()
-    keys = AmdKeyInfrastructure(rng)
-    amd_sp = AmdSecureProcessor()
-
-    tdx_attest, tdx_check, tdx_check_network = [], [], []
-    snp_attest, snp_check = [], []
-
-    for trial in range(trials):
-        nonce = f"nonce-{trial}".encode()
-
-        attest_ctx = ExecContext(machine=xeon_gold_5515(),
-                                 rng=rng.child(f"tdx-attest/{trial}"))
-        quote = generate_tdx_quote(module, qe, pcs, attest_ctx, nonce)
-        tdx_attest.append(attest_ctx.ledger.total())
-
-        check_ctx = ExecContext(machine=xeon_gold_5515(),
-                                rng=rng.child(f"tdx-check/{trial}"))
-        verdict = TdxVerifier(pcs).verify(quote, check_ctx,
-                                          expected_report_data=nonce)
-        assert verdict.accepted
-        tdx_check.append(check_ctx.ledger.total())
-        tdx_check_network.append(check_ctx.ledger.get(CostCategory.NETWORK))
-
-        snp_ctx = ExecContext(machine=epyc_9124(),
-                              rng=rng.child(f"snp-attest/{trial}"))
-        report = generate_snp_report(amd_sp, keys, snp_ctx, nonce)
-        snp_attest.append(snp_ctx.ledger.total())
-
-        snp_check_ctx = ExecContext(machine=epyc_9124(),
-                                    rng=rng.child(f"snp-check/{trial}"))
-        verdict = SnpVerifier(keys).verify(report, snp_check_ctx,
-                                           expected_report_data=nonce)
-        assert verdict.accepted
-        snp_check.append(snp_check_ctx.ledger.total())
+    runner = default_runner(runner)
+    # Each platform attests through its own flavor, so the plan is a
+    # concatenation of single-cell matrices rather than a cross
+    # product.  Attestation has no "normal VM" baseline: secure only.
+    specs = []
+    for platform, flavor in _FLAVORS.items():
+        specs.extend(TrialPlan.matrix(
+            kind="attestation", platforms=(platform,), workloads=(flavor,),
+            trials=trials, seed=seed, secure_modes=(True,),
+            params={"infra_seed": seed},
+        ).specs)
+    plan = TrialPlan(specs=tuple(specs))
+    attest: dict[str, list[float]] = {p: [] for p in _FLAVORS}
+    check: dict[str, list[float]] = {p: [] for p in _FLAVORS}
+    tdx_check_network: list[float] = []
+    for result in runner.run(plan):
+        platform = result.platform
+        attest_span = result.trace.find("attest")
+        check_span = result.trace.find("check")
+        attest[platform].append(attest_span.ledger_ns)
+        check[platform].append(check_span.ledger_ns)
+        if platform == "tdx":
+            tdx_check_network.append(
+                check_span.breakdown.get(CostCategory.NETWORK.value, 0.0))
 
     return Fig5Result(
         latencies_ns={
-            "tdx attest": mean(tdx_attest),
-            "tdx check": mean(tdx_check),
-            "sev-snp attest": mean(snp_attest),
-            "sev-snp check": mean(snp_check),
+            "tdx attest": mean(attest["tdx"]),
+            "tdx check": mean(check["tdx"]),
+            "sev-snp attest": mean(attest["sev-snp"]),
+            "sev-snp check": mean(check["sev-snp"]),
         },
-        tdx_check_network_fraction=mean(tdx_check_network) / mean(tdx_check),
+        tdx_check_network_fraction=(
+            mean(tdx_check_network) / mean(check["tdx"])),
     )

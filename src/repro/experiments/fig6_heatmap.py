@@ -12,7 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import HW_TEES, PAPER_TRIALS, faas_ratio, make_pair, mean
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.experiments.common import (
+    HW_TEES,
+    PAPER_TRIALS,
+    cell_ratio,
+    default_runner,
+    matched_cells,
+    mean,
+)
 from repro.experiments.report import render_heatmap
 from repro.runtimes.registry import RUNTIME_NAMES
 from repro.workloads.base import WorkloadTrait
@@ -72,19 +80,28 @@ def run_heatmap(
     workloads: tuple[str, ...] = FIGURE_WORKLOAD_NAMES,
     languages: tuple[str, ...] = RUNTIME_NAMES,
     trials: int = PAPER_TRIALS,
+    runner: TrialRunner | None = None,
 ) -> HeatmapResult:
     """Build the ratio grid for the given platforms."""
+    runner = default_runner(runner)
+    plan = TrialPlan.matrix(
+        kind="faas",
+        platforms=platforms,
+        workloads=workloads,
+        runtimes=languages,
+        trials=trials,
+        seed=seed,
+    )
+    cells = matched_cells(runner, plan)
     result = HeatmapResult(workloads=tuple(workloads),
                            languages=tuple(languages))
     for platform in platforms:
-        pair = make_pair(platform, seed=seed)
-        grid: dict[tuple[str, str], float] = {}
-        for language in languages:
-            for workload in workloads:
-                ratio, _, _ = faas_ratio(pair, workload, language,
-                                         trials=trials)
-                grid[(language, workload)] = ratio
-        result.grids[platform] = grid
+        result.grids[platform] = {
+            (language, workload):
+                cell_ratio(cells[(platform, workload, language)])
+            for language in languages
+            for workload in workloads
+        }
     return result
 
 
@@ -93,7 +110,8 @@ def run_fig6(
     workloads: tuple[str, ...] = FIGURE_WORKLOAD_NAMES,
     languages: tuple[str, ...] = RUNTIME_NAMES,
     trials: int = PAPER_TRIALS,
+    runner: TrialRunner | None = None,
 ) -> HeatmapResult:
     """Regenerate Fig. 6 (the two hardware TEEs)."""
     return run_heatmap(HW_TEES, seed=seed, workloads=workloads,
-                       languages=languages, trials=trials)
+                       languages=languages, trials=trials, runner=runner)

@@ -9,6 +9,7 @@ blue/red-ish cells").
 
 from __future__ import annotations
 
+from repro.core.runner import TrialRunner
 from repro.experiments.common import PAPER_TRIALS
 from repro.experiments.fig6_heatmap import HeatmapResult, run_heatmap
 from repro.runtimes.registry import RUNTIME_NAMES
@@ -20,7 +21,8 @@ def run_fig7(
     workloads: tuple[str, ...] = FIGURE_WORKLOAD_NAMES,
     languages: tuple[str, ...] = RUNTIME_NAMES,
     trials: int = PAPER_TRIALS,
+    runner: TrialRunner | None = None,
 ) -> HeatmapResult:
     """Regenerate Fig. 7 (CCA only)."""
     return run_heatmap(("cca",), seed=seed, workloads=workloads,
-                       languages=languages, trials=trials)
+                       languages=languages, trials=trials, runner=runner)

@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.results import five_number_summary
-from repro.experiments.common import PAPER_TRIALS, faas_ratio, make_pair, mean
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.experiments.common import (
+    PAPER_TRIALS,
+    default_runner,
+    matched_cells,
+    mean,
+)
 from repro.experiments.report import render_box_plots
 from repro.workloads.faas.registry import FIGURE_WORKLOAD_NAMES
 
@@ -65,16 +71,22 @@ def run_fig8(
     workloads: tuple[str, ...] = FIGURE_WORKLOAD_NAMES,
     language: str = DEFAULT_LANGUAGE,
     trials: int = PAPER_TRIALS,
+    runner: TrialRunner | None = None,
 ) -> Fig8Result:
     """Regenerate Fig. 8 (CCA distributions)."""
-    pair = make_pair("cca", seed=seed)
+    runner = default_runner(runner)
+    plan = TrialPlan.matrix(
+        kind="faas",
+        platforms=("cca",),
+        workloads=workloads,
+        runtimes=(language,),
+        trials=trials,
+        seed=seed,
+    )
     result = Fig8Result(language=language)
-    for workload in workloads:
-        _, secure_times, normal_times = faas_ratio(
-            pair, workload, language, trials=trials
-        )
+    for (_, workload, _), sides in matched_cells(runner, plan).items():
         result.samples[workload] = {
-            "secure": secure_times,
-            "normal": normal_times,
+            "secure": [r.elapsed_ns for r in sides["secure"]],
+            "normal": [r.elapsed_ns for r in sides["normal"]],
         }
     return result

@@ -1,15 +1,18 @@
-"""Text renderers for the figures.
+"""Text renderers for the figures, plus the structured-trace dump.
 
 The paper's plots become terminal-friendly artifacts: shaded-cell
 heatmaps (Figs. 6/7), stacked-percentile tables (Fig. 3), log-scale
 bar charts (Fig. 5), ratio bars (Fig. 4) and box-and-whisker strips
-(Fig. 8).
+(Fig. 8).  :func:`trace_payload` / :func:`dump_traces` additionally
+expose every executed trial's span trace as JSON.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from collections.abc import Mapping, Sequence
+from dataclasses import asdict
 
 #: Shading ramp for heatmap cells, light (good, ratio<=1) to dark.
 _SHADES = " .:-=+*#%@"
@@ -174,3 +177,39 @@ def render_table(title: str, headers: Sequence[str],
         lines.append("  ".join(str(cell).ljust(w)
                                for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+# -- structured traces ------------------------------------------------------
+
+def trace_payload(history) -> list[dict]:
+    """JSON-ready span traces for every executed trial.
+
+    ``history`` is :attr:`repro.core.runner.TrialRunner.history` — a
+    list of ``(plan, results)`` pairs.  Each trial becomes one record
+    pairing its declarative spec with the result's span trace, so the
+    per-phase timings (boot/launch/execute and any nested spans such
+    as Fig. 5's attest/check) are machine-readable alongside the
+    rendered figures.
+    """
+    records = []
+    for plan, results in history:
+        for spec, result in zip(plan.specs, results):
+            records.append({
+                "spec": asdict(spec),
+                "spec_hash": spec.content_hash(),
+                "elapsed_ns": result.elapsed_ns,
+                "trace": result.trace.to_list(),
+            })
+    return records
+
+
+def dump_traces(history, path: str) -> int:
+    """Write :func:`trace_payload` to ``path`` as JSON.
+
+    Returns the number of trial records written.
+    """
+    records = trace_payload(history)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2)
+        fh.write("\n")
+    return len(records)

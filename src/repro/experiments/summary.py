@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.runner import TrialRunner
+from repro.experiments.common import default_runner
 from repro.experiments.dbms_table import run_dbms_table
 from repro.experiments.fig3_ml import run_fig3
 from repro.experiments.fig4_unixbench import run_fig4
@@ -60,17 +62,20 @@ class EvaluationSummary:
         return "\n".join(sections)
 
 
-def run_evaluation(seed: int = 1, quick: bool = True) -> EvaluationSummary:
+def run_evaluation(seed: int = 1, quick: bool = True,
+                   runner: TrialRunner | None = None) -> EvaluationSummary:
     """Regenerate every artifact and check the paper's findings.
 
     ``quick`` shrinks grids/trials for an interactive run; the full
-    configuration matches the benches.
+    configuration matches the benches.  ``runner`` is shared by every
+    artifact, so a parallel or caching runner accelerates all of them.
     """
+    runner = default_runner(runner)
     summary = EvaluationSummary()
 
     fig3 = run_fig3(seed=seed, image_count=12 if quick else 40,
                     image_side=128 if quick else 296,
-                    trials=2 if quick else 3)
+                    trials=2 if quick else 3, runner=runner)
     summary.renders["fig3"] = fig3.render()
     cca_ml = fig3.mean_ratio("cca")
     summary.checks.append(ShapeCheck(
@@ -83,7 +88,7 @@ def run_evaluation(seed: int = 1, quick: bool = True) -> EvaluationSummary:
     ))
 
     dbms = run_dbms_table(seed=seed, size=20 if quick else 100,
-                          trials=2 if quick else 3)
+                          trials=2 if quick else 3, runner=runner)
     summary.renders["dbms"] = dbms.render()
     summary.checks.append(ShapeCheck(
         "DBMS", "TDX/SEV ~= 1; CCA largest (avg up to ~10x)",
@@ -96,7 +101,7 @@ def run_evaluation(seed: int = 1, quick: bool = True) -> EvaluationSummary:
     ))
 
     fig4 = run_fig4(seed=seed, trials=4 if quick else 6,
-                    scale=0.25 if quick else 0.3)
+                    scale=0.25 if quick else 0.3, runner=runner)
     summary.renders["fig4"] = fig4.render()
     # TDX least, "SEV-SNP leads to analogous figures" — allow the
     # near-tie the paper itself describes; CCA must be far worse.
@@ -112,7 +117,7 @@ def run_evaluation(seed: int = 1, quick: bool = True) -> EvaluationSummary:
                         for name, ratio in fig4.index_ratios.items()),
     ))
 
-    fig5 = run_fig5(seed=seed, trials=3 if quick else 10)
+    fig5 = run_fig5(seed=seed, trials=3 if quick else 10, runner=runner)
     summary.renders["fig5"] = fig5.render()
     lat = fig5.latencies_ns
     summary.checks.append(ShapeCheck(
@@ -135,7 +140,7 @@ def run_evaluation(seed: int = 1, quick: bool = True) -> EvaluationSummary:
                     languages=small_langs if quick else
                     __import__("repro.runtimes.registry",
                                fromlist=["RUNTIME_NAMES"]).RUNTIME_NAMES,
-                    trials=4 if quick else 10)
+                    trials=4 if quick else 10, runner=runner)
     summary.renders["fig6"] = fig6.render()
     io_cross = (fig6.ratio("sev-snp", "lua", "iostress")
                 < fig6.ratio("tdx", "lua", "iostress"))
@@ -151,7 +156,8 @@ def run_evaluation(seed: int = 1, quick: bool = True) -> EvaluationSummary:
     ))
 
     fig7 = run_fig7(seed=seed, workloads=small_workloads,
-                    languages=small_langs, trials=4 if quick else 10)
+                    languages=small_langs, trials=4 if quick else 10,
+                    runner=runner)
     summary.renders["fig7"] = fig7.render()
     import statistics
 
@@ -164,7 +170,7 @@ def run_evaluation(seed: int = 1, quick: bool = True) -> EvaluationSummary:
     ))
 
     fig8 = run_fig8(seed=seed, workloads=small_workloads,
-                    trials=8 if quick else 10)
+                    trials=8 if quick else 10, runner=runner)
     summary.renders["fig8"] = fig8.render()
     summary.checks.append(ShapeCheck(
         "Fig. 8", "secure whiskers longer than normal",

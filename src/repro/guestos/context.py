@@ -107,6 +107,9 @@ class ExecContext:
     #: optional observer called after every charge with (context,
     #: category, charged_ns) — the continuous-monitoring hook
     on_charge: "object | None" = None
+    #: optional span trace; workload bodies may open sub-spans on it
+    #: via ``ctx.trace.span(...)`` (see :mod:`repro.sim.trace`)
+    trace: "object | None" = None
 
     def __post_init__(self) -> None:
         self._run_noise = self.rng.lognormal_factor(self.profile.noise_sigma)

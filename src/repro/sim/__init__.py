@@ -11,6 +11,9 @@ This package provides the foundation every other layer builds on:
   used for realistic jitter (lognormal multiplicative noise).
 - :mod:`repro.sim.events` — a minimal discrete-event scheduler used by
   the network / PCS simulation.
+- :mod:`repro.sim.trace` — structured span traces recording each
+  run's phases (boot/launch/execute/...) with virtual timestamps and
+  per-span ledger deltas.
 
 All timing in the reproduction is virtual: for a fixed seed, every
 experiment is reproducible bit-for-bit while still exhibiting realistic
@@ -21,6 +24,7 @@ from repro.sim.clock import VirtualClock
 from repro.sim.ledger import CostCategory, CostLedger
 from repro.sim.rng import SimRng
 from repro.sim.events import EventLoop, Event
+from repro.sim.trace import Span, Trace
 
 __all__ = [
     "VirtualClock",
@@ -29,4 +33,6 @@ __all__ = [
     "SimRng",
     "EventLoop",
     "Event",
+    "Span",
+    "Trace",
 ]

@@ -1,0 +1,164 @@
+"""Structured run tracing: where virtual time goes inside a run.
+
+A :class:`Trace` is an ordered list of :class:`Span` records, each
+covering one phase of a trial (``boot``, ``launch``, ``execute``,
+``attest``, ...).  A span carries its start/end virtual timestamps and
+the cost-ledger delta charged while it was open, so a trace answers
+both "how long did each phase take" and "which cost categories were
+charged inside it" — the per-phase visibility the figure harnesses
+(notably Fig. 5's attestation phases) report from.
+
+Spans never overlap at the same level: root spans partition the run,
+so the sum of their ledger deltas equals the run's total ledger.
+Phase-internal detail goes into *child* spans (opened while a parent
+span is active), which nest under the parent and are excluded from
+the root-level sum.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import SimulationError
+from repro.sim.ledger import CostLedger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.guestos.context import ExecContext
+
+
+@dataclass
+class Span:
+    """One traced phase of a run.
+
+    ``breakdown`` maps cost-category names (the :class:`CostCategory`
+    values, e.g. ``"cpu"``) to the nanoseconds charged to them while
+    the span was open — already JSON-shaped.
+    """
+
+    name: str
+    start_ns: float
+    end_ns: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    parent: str | None = None
+
+    @property
+    def duration_ns(self) -> float:
+        """Virtual time covered by this span."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def ledger_ns(self) -> float:
+        """Total nanoseconds charged inside this span."""
+        return sum(self.breakdown.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (what ``report.trace_payload`` dumps)."""
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "breakdown": dict(self.breakdown),
+        }
+
+
+def _breakdown_delta(before: CostLedger, after: CostLedger) -> dict[str, float]:
+    """Per-category charges accrued between two ledger snapshots."""
+    earlier = dict(before.breakdown())
+    delta: dict[str, float] = {}
+    for category, nanos in after.breakdown().items():
+        diff = nanos - earlier.get(category, 0.0)
+        if diff > 0:
+            delta[category.value] = diff
+    return delta
+
+
+@dataclass
+class Trace:
+    """An ordered collection of spans attached to one run."""
+
+    spans: list[Span] = field(default_factory=list)
+    _open: list[str] = field(default_factory=list, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    @contextmanager
+    def span(self, name: str, ctx: "ExecContext"):
+        """Bracket a phase on ``ctx``'s clock and ledger.
+
+        Spans opened while another span is active become children of
+        that span (``parent`` set), keeping root spans a partition of
+        the run.
+        """
+        parent = self._open[-1] if self._open else None
+        start = ctx.clock.now()
+        before = ctx.ledger.copy()
+        self._open.append(name)
+        try:
+            yield self
+        finally:
+            self._open.pop()
+            self.spans.append(Span(
+                name=name,
+                start_ns=start,
+                end_ns=ctx.clock.now(),
+                breakdown=_breakdown_delta(before, ctx.ledger),
+                parent=parent,
+            ))
+
+    def record(self, name: str, start_ns: float, end_ns: float,
+               breakdown: dict[str, float] | None = None,
+               parent: str | None = None) -> Span:
+        """Append an externally measured span (e.g. host-side boot)."""
+        if end_ns < start_ns:
+            raise SimulationError(
+                f"span {name!r} ends before it starts "
+                f"({end_ns} < {start_ns})"
+            )
+        span = Span(name=name, start_ns=start_ns, end_ns=end_ns,
+                    breakdown=dict(breakdown or {}), parent=parent)
+        self.spans.append(span)
+        return span
+
+    # -- queries -------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """The top-level spans (those without a parent)."""
+        return [span for span in self.spans if span.parent is None]
+
+    def children(self, name: str) -> list[Span]:
+        """Spans recorded under the named parent."""
+        return [span for span in self.spans if span.parent == name]
+
+    def find(self, name: str) -> Span:
+        """The first span with the given name.
+
+        Raises
+        ------
+        SimulationError
+            If no such span was recorded.
+        """
+        for span in self.spans:
+            if span.name == name:
+                return span
+        raise SimulationError(f"trace has no span named {name!r}")
+
+    def ledger_total_ns(self) -> float:
+        """Sum of root-span ledger deltas.
+
+        Root spans partition a run, so for any trace produced by
+        :meth:`repro.tee.vm.Vm.run` this equals the run ledger's
+        total — the invariant the runner tests pin.
+        """
+        return sum(span.ledger_ns for span in self.roots())
+
+    def to_list(self) -> list[dict[str, Any]]:
+        """JSON-able form: one dict per span, in recording order."""
+        return [span.to_dict() for span in self.spans]

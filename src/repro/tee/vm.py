@@ -25,7 +25,9 @@ from repro.guestos.context import ExecContext
 from repro.guestos.kernel import GuestKernel
 from repro.hw.perfcounters import PerfCounters
 from repro.sim.clock import ns_to_ms
-from repro.sim.ledger import CostLedger
+from repro.sim.ledger import CostCategory, CostLedger
+from repro.sim.rng import SimRng
+from repro.sim.trace import Trace
 from repro.tee.base import TeePlatform, VmConfig
 
 
@@ -51,6 +53,7 @@ class RunResult:
     ledger: CostLedger
     counters: PerfCounters
     trial: int = 0
+    trace: Trace = field(default_factory=Trace)
 
     @property
     def elapsed_ms(self) -> float:
@@ -68,11 +71,38 @@ class RunResult:
             "output": self.output,
             "elapsed_ns": self.elapsed_ns,
             "elapsed_ms": self.elapsed_ms,
+            "total_ns": self.total_ns,
             "perf": self.counters.as_dict(),
             "cost_breakdown": {
                 category.value: nanos for category, nanos in self.ledger
             },
+            "trace": self.trace.to_list(),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (cache reload)."""
+        ledger = CostLedger()
+        for name, nanos in payload.get("cost_breakdown", {}).items():
+            ledger.charge(CostCategory(name), nanos)
+        trace = Trace()
+        for span in payload.get("trace", []):
+            trace.record(span["name"], span["start_ns"], span["end_ns"],
+                         breakdown=span.get("breakdown"),
+                         parent=span.get("parent"))
+        return cls(
+            vm_id=payload["vm_id"],
+            platform=payload["platform"],
+            secure=payload["secure"],
+            workload=payload["workload"],
+            output=payload["output"],
+            elapsed_ns=payload["elapsed_ns"],
+            total_ns=payload["total_ns"],
+            ledger=ledger,
+            counters=PerfCounters(**payload["perf"]),
+            trial=payload["trial"],
+            trace=trace,
+        )
 
 
 # VM bring-up costs (ns).  Confidential VMs measure and accept pages at
@@ -127,16 +157,26 @@ class Vm:
         name: str = "anonymous",
         trial: int = 0,
         contention: float = 1.0,
+        rng: SimRng | None = None,
+        trace: Trace | None = None,
     ) -> RunResult:
         """Execute ``workload`` in this VM and measure it.
 
         Each run gets a fresh guest kernel and exec context seeded from
         ``(platform seed, vm id, workload name, trial)`` so trials are
-        independent but reproducible.
+        independent but reproducible.  The runner pipeline passes an
+        explicit per-trial ``rng`` substream instead, making the draws
+        independent of VM identity and execution order (the property
+        the parallel executor's bit-identical guarantee rests on).
 
         ``contention`` (>= 1.0) uniformly inflates costs to model
         co-scheduled VMs oversubscribing the host (the §VI multi-tenant
         study); 1.0 means the VM runs alone.
+
+        Every run records a span trace (``launch`` + ``execute`` root
+        spans at minimum); pass ``trace`` to prepend host-side spans
+        such as ``boot``.  Workload bodies can open sub-spans through
+        ``kernel.ctx.trace``.
         """
         if self.state is not VmState.BOOTED:
             raise VmError(f"{self.vm_id}: cannot run in state {self.state.value}")
@@ -153,20 +193,27 @@ class Vm:
                 profile,
                 simulator_multiplier=profile.simulator_multiplier * contention,
             )
+        if trace is None:
+            trace = Trace()
         ctx = ExecContext(
             machine=machine,
             profile=profile,
-            rng=self.platform.rng.child(f"{self.vm_id}/{name}/{trial}"),
+            rng=(rng if rng is not None
+                 else self.platform.rng.child(f"{self.vm_id}/{name}/{trial}")),
+            trace=trace,
         )
         kernel = GuestKernel(ctx)
-        if ctx.profile.startup_ns > 0:
-            # per-invocation platform prep (TD entry setup, enclave
-            # creation, sandbox cold start) — charged as STARTUP so the
-            # paper-style elapsed time excludes it, but total_ns keeps it
-            ctx.startup(ctx.profile.startup_ns)
+        with trace.span("launch", ctx):
+            if ctx.profile.startup_ns > 0:
+                # per-invocation platform prep (TD entry setup, enclave
+                # creation, sandbox cold start) — charged as STARTUP so
+                # the paper-style elapsed time excludes it, but total_ns
+                # keeps it
+                ctx.startup(ctx.profile.startup_ns)
 
         before = machine.counters.snapshot()
-        output = workload(kernel)
+        with trace.span("execute", ctx):
+            output = workload(kernel)
         delta = machine.counters.delta(before)
         self.counters.add(delta)
 
@@ -181,6 +228,7 @@ class Vm:
             ledger=ctx.ledger,
             counters=delta,
             trial=trial,
+            trace=trace,
         )
 
     def run_trials(

@@ -1,0 +1,203 @@
+"""Tests for the unified trial-execution pipeline."""
+
+import json
+
+import pytest
+
+from repro.core.resultstore import SpecResultCache
+from repro.core.runner import (
+    ParallelTrialExecutor,
+    RunnerError,
+    SerialTrialExecutor,
+    TrialPlan,
+    TrialRunner,
+    TrialSpec,
+    execute_trial,
+)
+
+
+def faas_spec(trial=0, seed=0, secure=True, platform="tdx",
+              workload="cpustress", runtime="lua"):
+    return TrialSpec.make(kind="faas", platform=platform, secure=secure,
+                          workload=workload, runtime=runtime,
+                          trial=trial, seed=seed)
+
+
+def small_plan(platform, trials=2, seed=0):
+    return TrialPlan.matrix(
+        kind="faas", platforms=(platform,), workloads=("cpustress",),
+        runtimes=("lua",), trials=trials, seed=seed,
+    )
+
+
+def dump(results):
+    return json.dumps([r.to_dict() for r in results], sort_keys=True)
+
+
+class TestTrialSpec:
+    def test_content_hash_stable(self):
+        assert faas_spec().content_hash() == faas_spec().content_hash()
+
+    def test_content_hash_sensitive_to_fields(self):
+        base = faas_spec()
+        assert base.content_hash() != faas_spec(trial=1).content_hash()
+        assert base.content_hash() != faas_spec(seed=1).content_hash()
+        assert (base.content_hash()
+                != faas_spec(secure=False).content_hash())
+
+    def test_params_canonicalised(self):
+        a = TrialSpec.make(kind="faas", platform="tdx", secure=True,
+                           workload="w", trial=0, seed=0,
+                           params={"b": 2, "a": 1})
+        b = TrialSpec.make(kind="faas", platform="tdx", secure=True,
+                           workload="w", trial=0, seed=0,
+                           params={"a": 1, "b": 2})
+        assert a.params_json == b.params_json
+        assert a.content_hash() == b.content_hash()
+
+    def test_negative_trial_rejected(self):
+        with pytest.raises(RunnerError):
+            faas_spec(trial=-1)
+
+    def test_derived_seed_independent_of_trial_count(self):
+        """Trial K's substream must not move when more trials exist."""
+        two = small_plan("tdx", trials=2)
+        five = small_plan("tdx", trials=5)
+        seeds_two = {(s.trial, s.secure): s.derived_seed() for s in two}
+        seeds_five = {(s.trial, s.secure): s.derived_seed() for s in five}
+        for key, seed in seeds_two.items():
+            assert seeds_five[key] == seed
+
+    def test_derived_seeds_distinct_across_trials(self):
+        seeds = {faas_spec(trial=t).derived_seed() for t in range(10)}
+        assert len(seeds) == 10
+
+
+class TestTrialPlan:
+    def test_matrix_interleaves_secure_normal(self):
+        plan = small_plan("tdx", trials=3)
+        flags = [(s.trial, s.secure) for s in plan]
+        assert flags == [(0, True), (0, False), (1, True), (1, False),
+                         (2, True), (2, False)]
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(RunnerError):
+            TrialPlan(specs=())
+
+    def test_plan_hash_order_sensitive(self):
+        a, b = faas_spec(trial=0), faas_spec(trial=1)
+        assert (TrialPlan(specs=(a, b)).content_hash()
+                != TrialPlan(specs=(b, a)).content_hash())
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("platform", ["tdx", "sev-snp"])
+    def test_two_serial_runs_identical(self, platform):
+        plan = small_plan(platform)
+        assert dump(TrialRunner().run(plan)) == dump(TrialRunner().run(plan))
+
+    @pytest.mark.parametrize("platform", ["tdx", "sev-snp"])
+    def test_serial_vs_parallel_identical(self, platform):
+        plan = small_plan(platform)
+        serial = TrialRunner().run(plan)
+        parallel = TrialRunner(jobs=2).run(plan)
+        assert dump(serial) == dump(parallel)
+
+    def test_result_independent_of_surrounding_trials(self):
+        """A spec's result doesn't depend on what else ran."""
+        alone = execute_trial(faas_spec(trial=1))
+        plan = small_plan("tdx", trials=3)
+        within = TrialRunner().run(plan)
+        spec_index = next(i for i, s in enumerate(plan)
+                          if s.trial == 1 and s.secure)
+        assert within[spec_index].to_dict() == alone.to_dict()
+
+
+class TestTracing:
+    def test_every_result_has_spans(self):
+        for result in TrialRunner().run(small_plan("tdx", trials=1)):
+            names = [s.name for s in result.trace.roots()]
+            assert names == ["boot", "launch", "execute"]
+
+    def test_root_ledger_deltas_sum_to_run_total(self):
+        for result in TrialRunner().run(small_plan("tdx", trials=1)):
+            assert (result.trace.ledger_total_ns()
+                    == pytest.approx(result.ledger.total(), rel=1e-9))
+
+
+class TestCache:
+    def test_cache_hits_skip_execution(self, tmp_path):
+        cache = SpecResultCache(tmp_path / "cache.jsonl")
+        plan = small_plan("tdx")
+        first = TrialRunner(cache=cache).run(plan)
+        assert cache.misses == len(plan)
+
+        cache2 = SpecResultCache(tmp_path / "cache.jsonl")
+
+        class Exploding:
+            jobs = 1
+
+            def map(self, fn, specs):
+                raise AssertionError("cache should have satisfied all specs")
+
+        second = TrialRunner(executor=Exploding(), cache=cache2).run(plan)
+        assert cache2.hits == len(plan)
+        assert dump(first) == dump(second)
+
+    def test_cache_keyed_by_spec(self, tmp_path):
+        cache = SpecResultCache(tmp_path / "cache.jsonl")
+        TrialRunner(cache=cache).run(small_plan("tdx", seed=0))
+        runner = TrialRunner(cache=cache)
+        runner.run(small_plan("tdx", seed=1))
+        assert cache.hits == 0
+
+
+class TestExecutors:
+    def test_parallel_rejects_bad_jobs(self):
+        with pytest.raises(RunnerError):
+            ParallelTrialExecutor(jobs=0)
+
+    def test_parallel_falls_back_serially_for_one_spec(self):
+        # jobs > 1 but a single spec: no pool spin-up needed.
+        plan = small_plan("tdx", trials=1)
+        spec = plan.specs[0]
+        result = ParallelTrialExecutor(jobs=4).map(execute_trial, [spec])
+        assert result[0].to_dict() == execute_trial(spec).to_dict()
+
+    def test_serial_executor_preserves_order(self):
+        plan = small_plan("tdx", trials=2)
+        results = SerialTrialExecutor().map(execute_trial, list(plan))
+        assert [(r.trial, r.secure) for r in results] == [
+            (s.trial, s.secure) for s in plan]
+
+
+class TestRunnerApi:
+    def test_run_cells_groups_by_cell(self):
+        plan = small_plan("tdx", trials=2)
+        cells = TrialRunner().run_cells(plan)
+        assert set(cells) == {("tdx", "cpustress", "lua", True),
+                              ("tdx", "cpustress", "lua", False)}
+        for results in cells.values():
+            assert [r.trial for r in results] == [0, 1]
+
+    def test_run_trials_serial_in_process(self):
+        seen = []
+        out = TrialRunner(jobs=4).run_trials(3, lambda t: seen.append(t) or t)
+        assert out == [0, 1, 2]
+        assert seen == [0, 1, 2]
+
+    def test_run_trials_rejects_zero(self):
+        with pytest.raises(RunnerError):
+            TrialRunner().run_trials(0, lambda t: t)
+
+    def test_unknown_kind_raises(self):
+        spec = TrialSpec.make(kind="nope", platform="tdx", secure=True,
+                              workload="w", trial=0, seed=0)
+        with pytest.raises(RunnerError, match="unknown trial kind"):
+            execute_trial(spec)
+
+    def test_history_records_every_run(self):
+        runner = TrialRunner()
+        plan = small_plan("tdx", trials=1)
+        results = runner.run(plan)
+        assert runner.history == [(plan, results)]

@@ -1,0 +1,102 @@
+"""Tests for the structured span trace."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.ledger import CostCategory, CostLedger
+from repro.sim.trace import Span, Trace
+
+
+class FakeCtx:
+    """The minimal surface Trace.span brackets: a clock and a ledger."""
+
+    def __init__(self):
+        self.clock = VirtualClock()
+        self.ledger = CostLedger()
+
+    def charge(self, category, nanos):
+        self.clock.advance(nanos)
+        self.ledger.charge(category, nanos)
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(name="x", start_ns=10.0, end_ns=35.0)
+        assert span.duration_ns == 25.0
+
+    def test_ledger_ns_sums_breakdown(self):
+        span = Span(name="x", start_ns=0.0, end_ns=1.0,
+                    breakdown={"cpu": 3.0, "io": 4.0})
+        assert span.ledger_ns == 7.0
+
+    def test_to_dict_shape(self):
+        span = Span(name="x", start_ns=1.0, end_ns=4.0,
+                    breakdown={"cpu": 3.0}, parent="execute")
+        payload = span.to_dict()
+        assert payload["name"] == "x"
+        assert payload["parent"] == "execute"
+        assert payload["duration_ns"] == 3.0
+        assert payload["breakdown"] == {"cpu": 3.0}
+
+
+class TestTrace:
+    def test_span_brackets_clock_and_ledger(self):
+        ctx = FakeCtx()
+        trace = Trace()
+        ctx.charge(CostCategory.CPU, 5.0)
+        with trace.span("work", ctx):
+            ctx.charge(CostCategory.CPU, 10.0)
+            ctx.charge(CostCategory.IO_READ, 2.0)
+        span = trace.find("work")
+        assert span.start_ns == 5.0
+        assert span.end_ns == 17.0
+        assert span.breakdown == {"cpu": 10.0, "io_read": 2.0}
+        assert span.ledger_ns == 12.0
+
+    def test_nested_spans_get_parent(self):
+        ctx = FakeCtx()
+        trace = Trace()
+        with trace.span("outer", ctx):
+            ctx.charge(CostCategory.CPU, 1.0)
+            with trace.span("inner", ctx):
+                ctx.charge(CostCategory.CPU, 2.0)
+        assert trace.find("inner").parent == "outer"
+        assert trace.find("outer").parent is None
+        assert [s.name for s in trace.roots()] == ["outer"]
+        assert [s.name for s in trace.children("outer")] == ["inner"]
+
+    def test_ledger_total_counts_only_roots(self):
+        ctx = FakeCtx()
+        trace = Trace()
+        with trace.span("outer", ctx):
+            with trace.span("inner", ctx):
+                ctx.charge(CostCategory.CPU, 7.0)
+            ctx.charge(CostCategory.IO_READ, 3.0)
+        # inner's charges are inside outer; counting both would double.
+        assert trace.ledger_total_ns() == 10.0
+
+    def test_record_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            Trace().record("boot", 10.0, 5.0)
+
+    def test_find_missing_raises(self):
+        with pytest.raises(SimulationError):
+            Trace().find("nope")
+
+    def test_record_and_roundtrip(self):
+        trace = Trace()
+        trace.record("boot", 0.0, 9.0, breakdown={"cpu": 9.0})
+        rebuilt = Trace()
+        for span in trace.to_list():
+            rebuilt.record(span["name"], span["start_ns"], span["end_ns"],
+                           breakdown=span["breakdown"],
+                           parent=span["parent"])
+        assert rebuilt.to_list() == trace.to_list()
+
+    def test_iteration_and_len(self):
+        trace = Trace()
+        trace.record("a", 0.0, 1.0)
+        trace.record("b", 1.0, 2.0)
+        assert len(trace) == 2
+        assert [s.name for s in trace] == ["a", "b"]

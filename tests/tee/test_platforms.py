@@ -12,7 +12,6 @@ from repro.tee import (
     available_platforms,
     platform_by_name,
 )
-from repro.tee.base import TeePlatform
 from repro.tee.registry import register_platform, unregister_platform
 
 

@@ -116,7 +116,7 @@ class TestBetween:
     def test_between_uses_index(self, db):
         db.execute("CREATE INDEX iqty ON items (qty)")
         rows_before = None
-        from repro.workloads.dbms.executor import Executor, find_index_path
+        from repro.workloads.dbms.executor import find_index_path
         from repro.workloads.dbms.parser import parse as parse_sql
 
         stmt = parse_sql("SELECT name FROM items WHERE qty BETWEEN 5 AND 12")
