@@ -31,8 +31,7 @@ from repro.core.gateway import Gateway, InvocationRequest
 from repro.core.results import InvocationRecord, RatioSummary
 from repro.errors import ConfBenchError
 from repro.tee.registry import available_platforms, platform_by_name
-
-__version__ = "1.0.0"
+from repro.version import __version__
 
 __all__ = [
     "ConfBench",

@@ -1,0 +1,64 @@
+"""Static analysis enforcing the simulation contract (``confbench lint``).
+
+The reproduction's load-bearing property is determinism: every trial is
+a pure function of its :class:`~repro.core.runner.TrialSpec`, and the
+layer DAG in ``DESIGN.md`` keeps lower substrates ignorant of the
+orchestration above them.  Nothing in Python stops a contributor from
+calling ``time.time()`` inside a workload or importing ``repro.core``
+from ``repro.hw`` — one such slip silently turns bit-identical trials
+into flaky fig3–fig8 regressions.  This package catches that class of
+bug at lint time with three AST-based passes:
+
+- :mod:`repro.analysis.determinism` — flags wall-clock and entropy
+  escapes (``time.time``, ``datetime.now``, module-level ``random.*``,
+  ``os.urandom``, ``uuid.uuid4``, ``secrets.*``), raw iteration over
+  sets, and ``id()``-based sort keys.
+- :mod:`repro.analysis.layering` — rebuilds the module import graph
+  and enforces the DESIGN.md layer DAG, reporting the offending
+  import chain.
+- :mod:`repro.analysis.purity` — walks the call graph from the trial
+  pipeline's entry points (``execute_trial``, body factories) and
+  flags mutation of module-level state inside reachable functions.
+
+Findings can be suppressed inline with ``# confbench: allow[<rule>]``
+pragmas (:mod:`repro.analysis.pragmas`) or grandfathered in a committed
+baseline file (:mod:`repro.analysis.baseline`).  The package is
+deliberately self-contained tooling: it imports nothing from the
+simulation layers (only ``repro.errors``), so it can lint a broken
+tree without importing it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import (
+    AnalysisError,
+    Analyzer,
+    Finding,
+    Project,
+    Rule,
+    Severity,
+    SourceModule,
+)
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.engine import LintReport, default_rules, run_lint
+from repro.analysis.layering import LAYERS, LayeringRule
+from repro.analysis.purity import TrialPurityRule
+
+__all__ = [
+    "AnalysisError",
+    "Analyzer",
+    "Baseline",
+    "DeterminismRule",
+    "Finding",
+    "LAYERS",
+    "LayeringRule",
+    "LintReport",
+    "Project",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "TrialPurityRule",
+    "default_rules",
+    "run_lint",
+]

@@ -1,0 +1,75 @@
+"""Lint driver: paths in, rendered report + exit code out.
+
+This is the layer ``confbench lint`` (and the in-tree meta-test) sits
+on: assemble the default rule set, load the project, run the analyzer,
+subtract the baseline, and render text or JSON.  Exit-code convention
+(shared with ``confbench experiment``): 0 = clean, 1 = findings (or a
+failed shape check), 2 = usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import Analyzer, Finding, Rule, load_project
+from repro.analysis.determinism import DeterminismRule
+from repro.analysis.layering import LayeringRule
+from repro.analysis.purity import TrialPurityRule
+
+
+def default_rules() -> list[Rule]:
+    """The three contract-enforcing passes, in reporting order."""
+    return [DeterminismRule(), LayeringRule(), TrialPurityRule()]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]              # new (non-baselined) findings
+    grandfathered: list[Finding] = field(default_factory=list)
+    checked_modules: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        errors = sum(1 for f in self.findings if f.severity.value == "error")
+        warnings = len(self.findings) - errors
+        summary = (f"{len(self.findings)} finding(s) "
+                   f"({errors} error(s), {warnings} warning(s)) "
+                   f"in {self.checked_modules} module(s)")
+        if self.grandfathered:
+            summary += f"; {len(self.grandfathered)} baselined"
+        lines.append(summary if self.findings
+                     else f"clean: {summary}")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps({
+            "version": 1,
+            "checked_modules": self.checked_modules,
+            "findings": [f.to_dict() for f in self.findings],
+            "grandfathered": len(self.grandfathered),
+            "exit_code": self.exit_code,
+        }, indent=2)
+
+
+def run_lint(paths: Sequence[Path], rules: Sequence[Rule] | None = None,
+             baseline: Baseline | None = None) -> LintReport:
+    """Run the analyzer over ``paths`` and apply the baseline."""
+    project = load_project(paths)
+    analyzer = Analyzer(rules if rules is not None else default_rules())
+    findings = analyzer.run(project)
+    if baseline is not None:
+        new, grandfathered = baseline.split(findings)
+    else:
+        new, grandfathered = findings, []
+    return LintReport(findings=new, grandfathered=grandfathered,
+                      checked_modules=len(project.modules))

@@ -1,0 +1,58 @@
+"""Inline suppression pragmas: ``# confbench: allow[<rule>]``.
+
+A pragma on (or attached to) a line suppresses findings reported for
+that line.  Rules are named by id; a family prefix covers its
+sub-rules (``allow[determinism]`` suppresses ``determinism/wallclock``)
+and several rules may be listed comma-separated:
+
+    nonce = os.urandom(16)  # confbench: allow[determinism/entropy]
+    CACHE[key] = value      # confbench: allow[purity, determinism]
+
+Scanning is token-based (``tokenize``) rather than a substring match,
+so pragma-looking text inside string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA = re.compile(
+    r"#\s*confbench:\s*allow\[(?P<rules>[a-zA-Z0-9_/,\s-]+)\]")
+
+
+@dataclass
+class PragmaIndex:
+    """Per-line map of allowed rule ids for one source file."""
+
+    allowed: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, text: str) -> "PragmaIndex":
+        allowed: dict[int, frozenset[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _PRAGMA.search(token.string)
+                if not match:
+                    continue
+                rules = frozenset(
+                    part.strip() for part in match.group("rules").split(",")
+                    if part.strip())
+                if rules:
+                    line = token.start[0]
+                    allowed[line] = allowed.get(line, frozenset()) | rules
+        except tokenize.TokenizeError:
+            pass   # unparseable tail; the AST parse will report it
+        return cls(allowed=allowed)
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        """True if ``rule_id`` is suppressed on ``line``."""
+        return rule_id in self.allowed.get(line, frozenset())
+
+    def __bool__(self) -> bool:
+        return bool(self.allowed)

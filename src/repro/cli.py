@@ -9,6 +9,13 @@
 - ``confbench serve --port 8080`` — start the REST gateway
 - ``confbench experiment fig3|fig4|fig5|fig6|fig7|fig8|dbms`` —
   regenerate a paper artifact and print it
+- ``confbench lint [paths...]`` — static analysis enforcing the
+  simulation contract (determinism, layering, trial purity)
+
+Exit-code convention, shared by every subcommand: ``0`` success /
+clean, ``1`` findings or a failed check (including any
+:class:`~repro.errors.ConfBenchError`), ``2`` usage error (bad flags,
+missing paths — argparse's convention).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.core.api import ConfBench
 from repro.core.rest import RestServer
@@ -84,6 +92,29 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "hash; repeated runs skip finished trials")
     experiment.add_argument("--trace-out", metavar="FILE",
                             help="dump every trial's span trace as JSON")
+    experiment.set_defaults(subparser=experiment)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis: determinism, layering, trial purity",
+        description="Run the AST-based contract checks over the source "
+                    "tree; exits 0 when clean (against the baseline, if "
+                    "given), 1 on findings, 2 on usage errors.")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="JSON baseline of grandfathered findings; "
+                           "only new findings fail the run")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="write the current findings out as a baseline "
+                           "and exit 0")
+    lint.add_argument("--rules", metavar="LIST",
+                      help="comma-separated pass subset: determinism, "
+                           "layering, purity (default: all)")
+    lint.set_defaults(subparser=lint)
     return parser
 
 
@@ -173,10 +204,72 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _writable_file_arg(args, value: str | None, flag: str) -> None:
+    """Usage-error (exit 2) unless ``value``'s parent dir exists."""
+    if value is None:
+        return
+    parent = Path(value).resolve().parent
+    if not parent.is_dir():
+        args.subparser.error(
+            f"argument {flag}: directory does not exist: {parent}")
+    if Path(value).is_dir():
+        args.subparser.error(f"argument {flag}: is a directory: {value}")
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        Baseline,
+        DeterminismRule,
+        LayeringRule,
+        TrialPurityRule,
+        run_lint,
+    )
+
+    rule_classes = {"determinism": DeterminismRule, "layering": LayeringRule,
+                    "purity": TrialPurityRule}
+    if args.rules:
+        names = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = [name for name in names if name not in rule_classes]
+        if unknown:
+            args.subparser.error(
+                f"argument --rules: unknown pass(es) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(rule_classes))}")
+        rules = [rule_classes[name]() for name in names]
+    else:
+        rules = [cls() for cls in rule_classes.values()]
+
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    for path in paths:
+        if not path.exists():
+            args.subparser.error(f"path does not exist: {path}")
+
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            args.subparser.error(
+                f"argument --baseline: no such file: {baseline_path}")
+        baseline = Baseline.load(baseline_path)
+    _writable_file_arg(args, args.write_baseline, "--write-baseline")
+
+    report = run_lint(paths, rules=rules, baseline=baseline)
+    if args.write_baseline:
+        full = report.findings + report.grandfathered
+        Baseline.from_findings(full).save(Path(args.write_baseline))
+        print(f"wrote baseline with {len(full)} finding(s) -> "
+              f"{args.write_baseline}")
+        return 0
+    print(report.render_json() if args.format == "json"
+          else report.render_text())
+    return report.exit_code
+
+
 def _cmd_experiment(args) -> int:
     from repro import experiments
     from repro.core.runner import TrialRunner
 
+    _writable_file_arg(args, args.cache, "--cache")
+    _writable_file_arg(args, args.trace_out, "--trace-out")
     cache = None
     if args.cache:
         from repro.core.resultstore import SpecResultCache
@@ -271,6 +364,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "diff": _cmd_diff,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 

@@ -19,9 +19,9 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro import __version__
 from repro.core.results import InvocationRecord
 from repro.errors import GatewayError
+from repro.version import __version__
 
 
 @dataclass

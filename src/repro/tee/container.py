@@ -21,6 +21,7 @@ the TDX profile **plus**:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.errors import TeeError
@@ -59,7 +60,10 @@ class ConfidentialContainerPlatform(TeePlatform):
         self.image = ContainerImage(
             reference="registry.local/workload:latest",
             size_bytes=image_size_bytes,
-            digest=f"sha256:{abs(hash(('image', seed))):x}",
+            # hashlib, not builtin hash(): str hashing is randomized
+            # per process (PYTHONHASHSEED), which would give parallel
+            # trial workers a different digest than the serial path.
+            digest=f"sha256:{hashlib.sha256(f'image:{seed}'.encode()).hexdigest()}",
         )
 
     def info(self) -> PlatformInfo:

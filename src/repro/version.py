@@ -1,0 +1,12 @@
+"""Single source of the package version.
+
+Lives at the bottom of the layer DAG (rank 0, like ``repro.errors``)
+so any layer may import it.  ``repro.core.resultstore`` used to pull
+``__version__`` from the package root — a core → repro upward import
+that closed a package-level cycle (``repro/__init__`` imports core);
+the layering pass in :mod:`repro.analysis` now rejects that shape.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"

@@ -1,0 +1,36 @@
+"""Fixture helpers: synthetic package trees for the analyzer tests."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Materialise ``{relative_path: source}`` as a package tree.
+
+    Creates ``__init__.py`` in every directory along the way so
+    :func:`repro.analysis.core.module_name_for` derives the same dotted
+    names the real tree would.  Returns the tree root (the directory
+    to pass to ``run_lint``/``load_project``).
+    """
+
+    def build(files: dict[str, str], root: str = "repro") -> Path:
+        base = tmp_path / root
+        base.mkdir(exist_ok=True)
+        (base / "__init__.py").touch()
+        for relative, source in files.items():
+            path = base / relative
+            for parent in reversed(path.parents):
+                if base in parent.parents or parent == base:
+                    parent.mkdir(exist_ok=True)
+                    init = parent / "__init__.py"
+                    if not init.exists():
+                        init.touch()
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return base
+
+    return build

@@ -1,0 +1,208 @@
+"""Determinism pass: positives, negatives, and pragma suppression."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import DeterminismRule, run_lint
+
+
+def lint(tree: Path):
+    return run_lint([tree], rules=[DeterminismRule()])
+
+
+def rules_of(report) -> set[str]:
+    return {f.rule for f in report.findings}
+
+
+class TestWallclock:
+    def test_time_time_flagged(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            import time
+
+            def body(kernel):
+                return time.time()
+        """})
+        report = lint(tree)
+        assert rules_of(report) == {"determinism/wallclock"}
+        finding = report.findings[0]
+        assert finding.symbol == "body"
+        assert finding.module == "repro.workloads.w"
+        assert "host clock" in finding.message
+
+    def test_aliased_from_import_flagged(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            from time import perf_counter as tick
+
+            def body(kernel):
+                return tick()
+        """})
+        assert rules_of(lint(tree)) == {"determinism/wallclock"}
+
+    def test_datetime_now_flagged(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """})
+        assert rules_of(lint(tree)) == {"determinism/wallclock"}
+
+    def test_virtual_clock_not_flagged(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            def body(kernel):
+                return kernel.ctx.elapsed_ns()
+        """})
+        assert lint(tree).findings == []
+
+
+class TestEntropy:
+    def test_module_level_random_flagged(self, make_tree):
+        tree = make_tree({"hw/jitter.py": """
+            import random
+
+            def jitter():
+                return random.random() + random.gauss(0, 1)
+        """})
+        report = lint(tree)
+        assert rules_of(report) == {"determinism/entropy"}
+        assert len(report.findings) == 2
+
+    def test_seeded_random_instance_allowed(self, make_tree):
+        tree = make_tree({"hw/jitter.py": """
+            import random
+
+            def stream(seed):
+                return random.Random(seed)
+        """})
+        assert lint(tree).findings == []
+
+    def test_urandom_uuid_secrets_flagged(self, make_tree):
+        tree = make_tree({"core/ids.py": """
+            import os
+            import secrets
+            import uuid
+
+            def fresh():
+                return os.urandom(8), uuid.uuid4(), secrets.token_hex(4)
+        """})
+        report = lint(tree)
+        assert rules_of(report) == {"determinism/entropy"}
+        assert len(report.findings) == 3
+
+    def test_numpy_global_state_flagged_seeded_rng_allowed(self, make_tree):
+        tree = make_tree({"workloads/gen.py": """
+            import numpy as np
+
+            def bad(n):
+                return np.random.rand(n)
+
+            def good(n, seed):
+                return np.random.default_rng(seed).random(n)
+        """})
+        report = lint(tree)
+        assert rules_of(report) == {"determinism/entropy"}
+        assert [f.symbol for f in report.findings] == ["bad"]
+
+
+class TestOrderingHazards:
+    def test_set_literal_iteration_flagged(self, make_tree):
+        tree = make_tree({"experiments/agg.py": """
+            def collect(results):
+                out = []
+                for name in {"a", "b", "c"}:
+                    out.append(results[name])
+                return out
+        """})
+        assert rules_of(lint(tree)) == {"determinism/unordered-iter"}
+
+    def test_set_call_and_comprehension_flagged(self, make_tree):
+        tree = make_tree({"experiments/agg.py": """
+            def collect(rows):
+                names = [r.name for r in set(rows)]
+                for key in {r.key for r in rows}:
+                    names.append(key)
+                return names
+        """})
+        assert len(lint(tree).findings) == 2
+
+    def test_sorted_set_allowed(self, make_tree):
+        tree = make_tree({"experiments/agg.py": """
+            def collect(rows):
+                return [name for name in sorted(set(rows))]
+        """})
+        assert lint(tree).findings == []
+
+    def test_id_sort_key_flagged(self, make_tree):
+        tree = make_tree({"core/order.py": """
+            def arrange(vms):
+                vms.sort(key=id)
+                return sorted(vms, key=id)
+        """})
+        report = lint(tree)
+        assert rules_of(report) == {"determinism/id-sort-key"}
+        assert len(report.findings) == 2
+
+    def test_builtin_hash_flagged_but_not_in_dunder_hash(self, make_tree):
+        tree = make_tree({"tee/image.py": """
+            def digest(seed):
+                return hash(("image", seed))
+
+            class Key:
+                def __hash__(self):
+                    return hash(self.__dict__.get("x"))
+        """})
+        report = lint(tree)
+        assert rules_of(report) == {"determinism/builtin-hash"}
+        assert [f.symbol for f in report.findings] == ["digest"]
+
+
+class TestSuppression:
+    def test_pragma_suppresses_specific_rule(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            import time
+
+            def body(kernel):
+                return time.time()  # confbench: allow[determinism/wallclock]
+        """})
+        assert lint(tree).findings == []
+
+    def test_family_pragma_suppresses_subrule(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            import time
+
+            def body(kernel):
+                return time.time()  # confbench: allow[determinism]
+        """})
+        assert lint(tree).findings == []
+
+    def test_unrelated_pragma_does_not_suppress(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            import time
+
+            def body(kernel):
+                return time.time()  # confbench: allow[purity]
+        """})
+        assert len(lint(tree).findings) == 1
+
+    def test_pragma_in_string_literal_ignored(self, make_tree):
+        tree = make_tree({"workloads/w.py": """
+            import time
+
+            NOTE = "# confbench: allow[determinism]"
+
+            def body(kernel):
+                return time.time()
+        """})
+        # The pragma text lives in a string on a different line; the
+        # wallclock call is still reported.
+        assert len(lint(tree).findings) == 1
+
+    def test_allowlisted_module_exempt(self, make_tree):
+        tree = make_tree({"sim/rng.py": """
+            import random
+
+            def draw():
+                return random.random()
+        """})
+        assert lint(tree).findings == []

@@ -1,0 +1,44 @@
+"""Meta-test: the checked-in source tree must stay lint-clean.
+
+Every determinism, layering, and purity finding in ``src/repro`` must
+either be fixed or be an entry in the committed ``lint-baseline.json``.
+If this test fails, run ``confbench lint src/repro`` to see the new
+findings; fix them, suppress with a justified
+``# confbench: allow[<rule>]`` pragma, or (for accepted legacy debt
+only) regenerate the baseline with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Baseline, run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / "lint-baseline.json"
+
+
+def test_baseline_file_is_committed():
+    assert BASELINE.is_file(), "lint-baseline.json missing from repo root"
+
+
+def test_source_tree_is_lint_clean_against_baseline():
+    report = run_lint([SRC], baseline=Baseline.load(BASELINE))
+    assert report.findings == [], (
+        "new lint findings (fix or baseline them):\n"
+        + "\n".join(f.render() for f in report.findings)
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    # Every fingerprint in the baseline should still match a real
+    # finding; stale entries mean debt was paid off and the baseline
+    # should be regenerated to shrink.
+    from repro.analysis.baseline import _fingerprints
+
+    baseline = Baseline.load(BASELINE)
+    report = run_lint([SRC])
+    live = {fp for _, fp in _fingerprints(report.findings)}
+    stale = baseline.fingerprints - live
+    assert not stale, f"stale baseline entries: {sorted(stale)}"
