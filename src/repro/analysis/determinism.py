@@ -51,9 +51,12 @@ from repro.analysis.core import (
 )
 
 #: Modules exempt from this pass: the seeded-RNG substrate is the one
-#: legitimate consumer of ``random``, and CLI entry points may touch
-#: the host environment.
-DEFAULT_ALLOWLIST = frozenset({"repro.sim.rng", "repro.cli"})
+#: legitimate consumer of ``random``, the fault-injection substrate
+#: wraps it the same way, and CLI entry points may touch the host
+#: environment.
+DEFAULT_ALLOWLIST = frozenset({
+    "repro.sim.rng", "repro.sim.faults", "repro.cli",
+})
 
 #: Fully-qualified callables that read host clocks.
 WALLCLOCK_CALLS = frozenset({

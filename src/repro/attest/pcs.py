@@ -23,10 +23,15 @@ from repro.attest.certs import (
     CertificateRevocationList,
 )
 from repro.attest.crypto import RsaKeyPair, derived_keypair
-from repro.errors import AttestationError
+from repro.errors import AttestationError, CollateralTimeoutError
 from repro.guestos.context import ExecContext
 from repro.hw.nic import NicModel, wan_path
+from repro.sim.faults import FaultKind
 from repro.sim.rng import SimRng
+
+#: Virtual time a timed-out collateral fetch burns before the client
+#: gives up (a WAN timeout is far costlier than a healthy round-trip).
+_TIMEOUT_BUDGET_NS = 150_000_000.0
 
 
 @dataclass(frozen=True)
@@ -96,6 +101,15 @@ class IntelPcs:
     # -- collateral endpoints (each costs a WAN round-trip) --------------
 
     def _round_trip(self, ctx: ExecContext, endpoint: str, payload_bytes: int) -> None:
+        faults = getattr(ctx, "faults", None)
+        if faults is not None and faults.triggers(FaultKind.PCS_TIMEOUT, endpoint):
+            # the fetch hangs until the client-side timeout fires; the
+            # wasted wait is still network time on the caller's ledger
+            self.request_log.append(endpoint + "!timeout")
+            ctx.charge_network(_TIMEOUT_BUDGET_NS)
+            raise CollateralTimeoutError(
+                f"PCS {endpoint}: collateral fetch timed out"
+            )
         self.request_log.append(endpoint)
         cost = self.network.round_trip(payload_bytes, self.rng)
         ctx.charge_network(cost)

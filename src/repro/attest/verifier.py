@@ -10,11 +10,18 @@ Two verifiers with deliberately asymmetric I/O profiles:
   obtain the ARK→ASK→VCEK chain from the device, (2) verify the
   chain against the pinned ARK, (3) verify the report signature and
   fields.  Everything is local, so it is fast.
+
+Both verifiers retry *transient* failures (injected transient
+verification errors and PCS collateral timeouts) under a bounded
+:class:`~repro.sim.faults.RetryPolicy`; each backoff is charged to
+the caller's cost ledger so resilience shows up as latency, exactly
+as it would against the real Intel PCS.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.attest.certs import Certificate, verify_chain
 from repro.attest.crypto import DIGEST_COST_PER_BYTE_NS, VERIFY_COST_NS
@@ -25,8 +32,13 @@ from repro.attest.snp_report import (
     SnpAttestationReport,
 )
 from repro.attest.tdx_quote import QuotingEnclave, TdxQuote
-from repro.errors import QuoteVerificationError
+from repro.errors import (
+    CollateralTimeoutError,
+    QuoteVerificationError,
+    TransientAttestationError,
+)
 from repro.guestos.context import ExecContext
+from repro.sim.faults import FaultContext, FaultKind, RetryPolicy
 
 
 @dataclass
@@ -42,23 +54,85 @@ class VerificationResult:
         self.steps.append(step)
 
 
+def _verify_with_retry(
+    verify_once: Callable[[FaultContext | None], VerificationResult],
+    ctx: ExecContext,
+    policy: RetryPolicy,
+    backoff_charge: Callable[[float], float],
+) -> VerificationResult:
+    """Run ``verify_once`` under the retry policy, charging backoffs.
+
+    Each attempt gets its own scoped :class:`FaultContext` (derived
+    from ``ctx.faults`` when present) so a retried collateral fetch
+    re-rolls its fault decision instead of deterministically failing
+    again.  ``ctx.faults`` is temporarily swapped to the scoped child
+    for the attempt's duration so the PCS sees the same stream.
+    """
+    base = getattr(ctx, "faults", None)
+    attempt = 0
+    spent = 0.0
+    while True:
+        scoped = base.scoped(f"verify/a{attempt}") if base is not None else None
+        if base is not None:
+            ctx.faults = scoped
+        try:
+            return verify_once(scoped)
+        except (TransientAttestationError, CollateralTimeoutError):
+            if not policy.allows(attempt + 1, spent):
+                raise
+            backoff = policy.backoff_ns(attempt)
+            trace = getattr(ctx, "trace", None)
+            if trace is not None:
+                with trace.span("retry", ctx):
+                    backoff_charge(backoff)
+            else:
+                backoff_charge(backoff)
+            spent += backoff
+            attempt += 1
+        finally:
+            if base is not None:
+                ctx.faults = base
+
+
 class TdxVerifier:
     """Remote verifier for TDX quotes (collateral from the PCS)."""
 
-    def __init__(self, pcs: IntelPcs, trusted_root: Certificate | None = None) -> None:
+    def __init__(self, pcs: IntelPcs, trusted_root: Certificate | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.pcs = pcs
         self.trusted_root = (
             trusted_root if trusted_root is not None else pcs.root_ca.certificate
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
         )
 
     def verify(self, quote: TdxQuote, ctx: ExecContext,
                expected_report_data: bytes | None = None) -> VerificationResult:
         """Full quote verification; charges network + crypto to ``ctx``.
 
-        Raises :class:`QuoteVerificationError` on any failed check.
+        Transient failures (injected transients, PCS timeouts) retry
+        under the verifier's policy with backoff charged as network
+        time.  Raises :class:`QuoteVerificationError` on any failed
+        check, or the last transient error once retries are exhausted.
         """
+        return _verify_with_retry(
+            lambda faults: self._verify_once(
+                quote, ctx, expected_report_data, faults),
+            ctx,
+            self.retry_policy,
+            ctx.charge_network,
+        )
+
+    def _verify_once(self, quote: TdxQuote, ctx: ExecContext,
+                     expected_report_data: bytes | None,
+                     faults: FaultContext | None) -> VerificationResult:
         start = ctx.ledger.total()
         result = VerificationResult(accepted=False, platform="tdx")
+        if faults is not None and faults.triggers(
+                FaultKind.ATTEST_TRANSIENT, "transient"):
+            raise TransientAttestationError(
+                "tdx: injected transient verification failure")
 
         # 1. collateral retrieval — the expensive, networked part
         tcb = self.pcs.fetch_tcb_info(ctx)
@@ -138,15 +212,38 @@ class TdxVerifier:
 class SnpVerifier:
     """Verifier for SNP reports (three local steps, no network)."""
 
-    def __init__(self, keys: AmdKeyInfrastructure) -> None:
+    def __init__(self, keys: AmdKeyInfrastructure,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.keys = keys
         self.trusted_ark = keys.ark.certificate
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
 
     def verify(self, report: SnpAttestationReport, ctx: ExecContext,
                expected_report_data: bytes | None = None) -> VerificationResult:
-        """snpguest-style verification; charges local costs to ``ctx``."""
+        """snpguest-style verification; charges local costs to ``ctx``.
+
+        Transient failures retry under the verifier's policy; backoff
+        is charged as crypto time (the flow is entirely local).
+        """
+        return _verify_with_retry(
+            lambda faults: self._verify_once(
+                report, ctx, expected_report_data, faults),
+            ctx,
+            self.retry_policy,
+            ctx.crypto,
+        )
+
+    def _verify_once(self, report: SnpAttestationReport, ctx: ExecContext,
+                     expected_report_data: bytes | None,
+                     faults: FaultContext | None) -> VerificationResult:
         start = ctx.ledger.total()
         result = VerificationResult(accepted=False, platform="sev-snp")
+        if faults is not None and faults.triggers(
+                FaultKind.ATTEST_TRANSIENT, "transient"):
+            raise TransientAttestationError(
+                "sev-snp: injected transient verification failure")
 
         # step 1: obtain the cert chain from the device (local)
         ctx.crypto(DEVICE_CERT_FETCH_NS)

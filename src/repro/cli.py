@@ -92,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "hash; repeated runs skip finished trials")
     experiment.add_argument("--trace-out", metavar="FILE",
                             help="dump every trial's span trace as JSON")
+    experiment.add_argument("--faults", metavar="SPEC",
+                            help="seeded fault injection, e.g. "
+                                 "'vm-crash=0.05,pcs-timeout=0.1,seed=7'; "
+                                 "kinds: vm-crash, slow-trial, "
+                                 "attest-transient, pcs-timeout, relay-drop "
+                                 "(plus seed= and slow-factor=)")
     experiment.set_defaults(subparser=experiment)
 
     lint = commands.add_parser(
@@ -270,12 +276,21 @@ def _cmd_experiment(args) -> int:
 
     _writable_file_arg(args, args.cache, "--cache")
     _writable_file_arg(args, args.trace_out, "--trace-out")
+    faults = None
+    if args.faults:
+        from repro.errors import SimulationError
+        from repro.sim.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except SimulationError as exc:
+            args.subparser.error(f"argument --faults: {exc}")
     cache = None
     if args.cache:
         from repro.core.resultstore import SpecResultCache
 
         cache = SpecResultCache(args.cache)
-    runner = TrialRunner(jobs=args.jobs, cache=cache)
+    runner = TrialRunner(jobs=args.jobs, cache=cache, faults=faults)
 
     def trials(default: int) -> int:
         return args.trials if args.trials is not None else default
@@ -376,6 +391,11 @@ def main(argv: list[str] | None = None) -> int:
     except ConfBenchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped through `head`); exit
+        # quietly like any well-behaved unix tool
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

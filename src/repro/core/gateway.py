@@ -23,7 +23,8 @@ from repro.core.pool import LoadBalancingPolicy, TeePool
 from repro.core.results import InvocationRecord
 from repro.core.runner import TrialRunner
 from repro.core.storage import FunctionStore
-from repro.errors import GatewayError
+from repro.errors import GatewayError, PoolExhaustedError
+from repro.sim.faults import FaultPlan
 from repro.tee.registry import platform_by_name
 
 
@@ -43,12 +44,14 @@ class Gateway:
     """Receives, dispatches, and returns workload requests."""
 
     def __init__(self, config: GatewayConfig | None = None,
-                 runner: TrialRunner | None = None) -> None:
+                 runner: TrialRunner | None = None,
+                 faults: "FaultPlan | str | None" = None) -> None:
         self.config = config if config is not None else default_config()
         # Gateway trials run against long-lived pool VMs (stateful),
         # so they go through the runner's in-process trial loop rather
         # than the spec-parallel path.
         self.runner = runner if runner is not None else TrialRunner()
+        self.faults = FaultPlan.parse(faults) if faults is not None else None
         self.store = FunctionStore()
         self.hosts: dict[str, Host] = {}
         self.pools: dict[tuple[str, bool], TeePool] = {}
@@ -70,8 +73,27 @@ class Gateway:
                 secure = offset % 2 == 0
                 vm = host.provision_vm(port, secure=secure)
                 (secure_pool if secure else normal_pool).add_worker(vm, port)
+            for pool in (secure_pool, normal_pool):
+                pool.respawn = self._respawner(host, pool)
+                pool.faults = self.faults
             self.pools[(entry.platform, True)] = secure_pool
             self.pools[(entry.platform, False)] = normal_pool
+
+    @staticmethod
+    def _respawner(host: Host, pool: TeePool):
+        """The evict-then-respawn hook wired into each pool.
+
+        When a pool evicts a dead worker, the host replaces the VM on
+        the same port and the replacement rejoins the pool — the
+        failure-handling behaviour a cloud operator expects, instead of
+        the pool quietly shrinking to exhaustion.
+        """
+
+        def respawn(worker):
+            vm = host.respawn_vm(worker.port)
+            return pool.add_worker(vm, worker.port)
+
+        return respawn
 
     # -- uploads ---------------------------------------------------------
 
@@ -116,7 +138,14 @@ class Gateway:
         monitor = self.monitors[request.platform]
         platform = self.hosts[request.platform].platform
         def one_trial(trial: int) -> InvocationRecord:
-            run = pool.run_resilient(body, name=request.function, trial=trial)
+            try:
+                run = pool.run_resilient(body, name=request.function,
+                                         trial=trial)
+            except PoolExhaustedError:
+                if self.faults is None or not self.faults.active:
+                    raise
+                return self._degraded_record(
+                    pool, request.function, request.language, trial)
             report = monitor.collect(run)
             return InvocationRecord.from_run(
                 run,
@@ -141,13 +170,41 @@ class Gateway:
         monitor = self.monitors[platform]
 
         def one_trial(trial: int) -> InvocationRecord:
-            run = pool.run_resilient(body, name=name, trial=trial)
+            try:
+                run = pool.run_resilient(body, name=name, trial=trial)
+            except PoolExhaustedError:
+                if self.faults is None or not self.faults.active:
+                    raise
+                return self._degraded_record(pool, name, None, trial)
             report = monitor.collect(run)
             return InvocationRecord.from_run(
                 run, function=name, language=None, perf=dict(report.events),
             )
 
         return self.runner.run_trials(trials, one_trial)
+
+    def _degraded_record(self, pool: TeePool, function: str,
+                         language: str | None, trial: int) -> InvocationRecord:
+        """The record a trial degrades to once the pool's retries ran out.
+
+        Only taken when fault injection is active (the callers re-raise
+        otherwise: without faults an exhausted pool is a configuration
+        problem, not an injected one).  Degrading keeps every requested
+        trial present in the response — none silently dropped — with
+        ``degraded=True`` marking the loss.
+        """
+        return InvocationRecord(
+            function=function,
+            language=language,
+            platform=pool.platform,
+            secure=pool.secure,
+            trial=trial,
+            elapsed_ns=0.0,
+            output=None,
+            perf={},
+            attempts=pool.retry_policy.max_attempts,
+            degraded=True,
+        )
 
     # -- introspection -----------------------------------------------------------
 

@@ -24,6 +24,7 @@ class Host:
     platform: TeePlatform
     port_map: dict[int, Vm] = field(default_factory=dict)
     requests_routed: int = 0
+    vms_respawned: int = 0
 
     def provision_vm(self, port: int, secure: bool,
                      config: VmConfig | None = None) -> Vm:
@@ -55,10 +56,32 @@ class Host:
 
     def route(self, port: int, workload, name: str = "anonymous",
               trial: int = 0) -> RunResult:
-        """Execute a request arriving for ``port``."""
-        self.requests_routed += 1
+        """Execute a request arriving for ``port``.
+
+        ``requests_routed`` counts requests that actually reached a VM
+        — a request rejected for an unmapped port never routed.
+        """
         vm = self.vm_for_port(port)
+        self.requests_routed += 1
         return vm.run(workload, name=name, trial=trial)
+
+    def respawn_vm(self, port: int) -> Vm:
+        """Replace the VM on ``port`` with a freshly booted one.
+
+        The failure-handling path the pools use: the dead VM is torn
+        down (tolerating an already-destroyed state), unmapped, and a
+        new VM with the same configuration is provisioned on the same
+        port.
+        """
+        old = self.vm_for_port(port)
+        try:
+            old.destroy()
+        except VmError:
+            pass   # already dead; replacing it is the point
+        del self.port_map[port]
+        vm = self.provision_vm(port, secure=old.secure, config=old.config)
+        self.vms_respawned += 1
+        return vm
 
     def contention_factor(self, active_vms: int) -> float:
         """Slowdown when ``active_vms`` share this host's cores.
@@ -84,8 +107,8 @@ class Host:
         factor = self.contention_factor(len(requests))
         results = []
         for port, workload, name in requests:
-            self.requests_routed += 1
             vm = self.vm_for_port(port)
+            self.requests_routed += 1
             results.append(vm.run(workload, name=name, trial=trial,
                                   contention=factor))
         return results

@@ -12,9 +12,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import PoolExhaustedError
+from repro.errors import PoolExhaustedError, VmError
+from repro.sim.faults import (
+    FailureLog,
+    FaultContext,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.sim.ledger import CostCategory
 from repro.sim.rng import SimRng
-from repro.tee.vm import Vm
+from repro.sim.trace import Trace
+from repro.tee.vm import Vm, VmState
 
 
 class LoadBalancingPolicy(enum.Enum):
@@ -40,7 +49,8 @@ class Worker:
     vm: Vm
     port: int
     inflight: int = 0
-    served: int = 0
+    served: int = 0      # successful runs only
+    failed: int = 0      # runs that raised
 
 
 @dataclass
@@ -53,6 +63,13 @@ class TeePool:
     workers: list[Worker] = field(default_factory=list)
     _cursor: int = 0
     _rng: SimRng = field(default_factory=lambda: SimRng(0, "pool"))
+    #: bounds the failover loop in :meth:`run_resilient`
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: optional ``worker -> Worker | None`` callable replacing an
+    #: evicted worker (the gateway wires :meth:`Host.respawn_vm` here)
+    respawn: "object | None" = None
+    #: optional :class:`FaultPlan` injecting worker failures
+    faults: FaultPlan | None = None
 
     def add_worker(self, vm: Vm, port: int) -> Worker:
         """Register a booted VM as a pool worker."""
@@ -68,46 +85,131 @@ class TeePool:
                 "has no workers"
             )
         if self.policy is LoadBalancingPolicy.ROUND_ROBIN:
-            worker = self.workers[self._cursor % len(self.workers)]
-            self._cursor += 1
+            # keep the cursor bounded so eviction arithmetic stays exact
+            index = self._cursor % len(self.workers)
+            worker = self.workers[index]
+            self._cursor = (index + 1) % len(self.workers)
         elif self.policy is LoadBalancingPolicy.LEAST_LOADED:
             worker = min(self.workers, key=lambda w: (w.inflight, w.served))
         else:
             worker = self._rng.choice(self.workers)
         return worker
 
-    def run_on(self, worker: Worker, workload, name: str, trial: int):
-        """Execute on a specific worker with load tracking."""
+    def run_on(self, worker: Worker, workload, name: str, trial: int,
+               trace: Trace | None = None, faults: FaultContext | None = None):
+        """Execute on a specific worker with load tracking.
+
+        ``served`` counts *successful* runs only; a run that raises
+        increments ``failed`` instead, so the least-loaded policy's
+        view of past work is not inflated by dead attempts.
+        """
         worker.inflight += 1
         try:
-            return worker.vm.run(workload, name=name, trial=trial)
+            result = worker.vm.run(workload, name=name, trial=trial,
+                                   trace=trace, faults=faults)
+        except Exception:
+            worker.failed += 1
+            raise
         finally:
             worker.inflight -= 1
-            worker.served += 1
+        worker.served += 1
+        return result
 
     def run_resilient(self, workload, name: str, trial: int):
         """Pick a worker and execute, failing over on dead VMs.
 
         A worker whose VM has been destroyed (or refuses to run) is
-        evicted from the pool and the request is retried on the next
-        pick — the load-balancing behaviour a cloud operator expects.
-        Raises :class:`PoolExhaustedError` when every worker is dead.
-        """
-        from repro.errors import VmError
+        evicted from the pool; if :attr:`respawn` is wired, a
+        replacement worker is provisioned in its place, and the request
+        is retried on the next pick — bounded by :attr:`retry_policy`
+        rather than looping forever.  The wasted virtual time of the
+        dead attempts plus the retry backoff is charged to the
+        surviving result's STARTUP bucket (visible in ``total_ns``,
+        excluded from the paper's ``elapsed_ns`` metric).
 
-        while True:
-            worker = self.pick()
+        With :attr:`faults` set, each attempt can inject a worker
+        failure (the VM is destroyed just before dispatch) drawn from
+        the plan's seeded substreams.
+
+        Raises :class:`PoolExhaustedError` when no worker survives
+        within the policy's bounds.
+        """
+        failures = FailureLog()
+        injected: list[str] = []
+        attempt = 0
+        last_exc: Exception | None = None
+        while self.retry_policy.allows(attempt, failures.surcharge_ns):
             try:
-                return self.run_on(worker, workload, name=name, trial=trial)
-            except VmError:
+                worker = self.pick()
+            except PoolExhaustedError as exc:
+                last_exc = exc
+                break
+            faults = None
+            if self.faults is not None and self.faults.active:
+                side = "secure" if self.secure else "normal"
+                faults = FaultContext(
+                    self.faults,
+                    f"pool/{self.platform}/{side}/{name}/t{trial}/a{attempt}",
+                )
+                if (faults.triggers(FaultKind.VM_CRASH, "worker")
+                        and worker.vm.state is not VmState.DESTROYED):
+                    worker.vm.state = VmState.DESTROYED
+            trace = Trace()
+            failures.replay(trace)
+            try:
+                result = self.run_on(worker, workload, name=name, trial=trial,
+                                     trace=trace, faults=faults)
+            except VmError as exc:
                 self.evict(worker)
+                wasted = getattr(exc, "wasted_ns", 0.0)
+                if self.respawn is not None:
+                    replacement = self.respawn(worker)
+                    if replacement is not None:
+                        wasted += replacement.vm.boot_time_ns
+                failures.add(type(exc).__name__, wasted_ns=wasted,
+                             backoff_ns=self.retry_policy.backoff_ns(attempt))
+                if faults is not None:
+                    injected.extend(faults.injected)
+                last_exc = exc
+                attempt += 1
+                continue
+            if faults is not None:
+                injected.extend(faults.injected)
+            surcharge = failures.surcharge_ns
+            if surcharge > 0:
+                result.ledger.charge(CostCategory.STARTUP, surcharge)
+                result.total_ns += surcharge
+            if attempt or injected:
+                result.attempts = attempt + 1
+                result.faults_injected = tuple(injected)
+            return result
+        raise PoolExhaustedError(
+            f"pool {self.platform}/{'secure' if self.secure else 'normal'}: "
+            f"request {name!r} trial {trial} failed after {attempt} "
+            f"attempt(s)"
+        ) from last_exc
 
     def evict(self, worker: Worker) -> None:
-        """Remove a failed worker from rotation."""
+        """Remove a failed worker from rotation.
+
+        The round-robin cursor indexes into ``workers``, so deleting
+        an entry must shift it in step — otherwise the eviction skips
+        the healthy worker that slid into the evicted slot.
+        """
         try:
-            self.workers.remove(worker)
+            index = self.workers.index(worker)
         except ValueError:
-            pass   # already evicted by a concurrent path
+            return   # already evicted by a concurrent path
+        del self.workers[index]
+        if not self.workers:
+            self._cursor = 0
+            return
+        if index < self._cursor:
+            self._cursor -= 1
+        self._cursor %= len(self.workers)
 
     def total_served(self) -> int:
         return sum(worker.served for worker in self.workers)
+
+    def total_failed(self) -> int:
+        return sum(worker.failed for worker in self.workers)

@@ -6,6 +6,13 @@ localhost TCP forwarder built on the standard library: it listens on
 one port and pipes both directions to a destination port, one thread
 pair per connection.  The integration tests drive actual bytes
 through it.
+
+The relay honours TCP half-close: when one direction hits EOF, only
+the *write* side of the sink is shut down, so the opposite direction
+keeps flowing until it reaches its own EOF — the behaviour protocols
+like HTTP/1.0 and classic request/EOF-reply servers depend on.  A
+:class:`~repro.sim.faults.FaultPlan` with a ``relay-drop`` rate makes
+the relay deterministically refuse a seeded subset of connections.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import socket
 import threading
 
 from repro.errors import RelayError
+from repro.sim.faults import FaultKind, FaultPlan
 
 _BUFFER = 65536
 
@@ -22,17 +30,23 @@ class TcpRelay:
     """Forward ``listen_port`` -> ``target_port`` on localhost."""
 
     def __init__(self, listen_port: int, target_port: int,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1",
+                 faults: FaultPlan | None = None) -> None:
         if listen_port == target_port:
             raise RelayError("relay cannot forward a port to itself")
         self.listen_port = listen_port
         self.target_port = target_port
         self.host = host
+        self.faults = faults
         self._server: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._running = False
         self.connections_handled = 0
+        self.connections_dropped = 0
         self.bytes_forwarded = 0
+        self._accepted = 0
+        self._threads: list[threading.Thread] = []
+        self._active: set[socket.socket] = set()
         self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
@@ -61,7 +75,7 @@ class TcpRelay:
         self._accept_thread.start()
 
     def stop(self) -> None:
-        """Stop accepting and close the listener."""
+        """Stop accepting, unblock in-flight pumps, and join them."""
         self._running = False
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
@@ -69,6 +83,21 @@ class TcpRelay:
         if self._server is not None:
             self._server.close()
             self._server = None
+        # force any still-open connection sockets closed so blocked
+        # recv() calls return and the handler threads can exit
+        with self._lock:
+            active = list(self._active)
+        for sock in active:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+        with self._lock:
+            threads = list(self._threads)
+            self._threads.clear()
+        for thread in threads:
+            thread.join(timeout=2.0)
 
     def __enter__(self) -> "TcpRelay":
         self.start()
@@ -88,9 +117,24 @@ class TcpRelay:
                 continue
             except OSError:
                 break
-            threading.Thread(
+            with self._lock:
+                index = self._accepted
+                self._accepted += 1
+            if self.faults is not None and self.faults.triggers(
+                    FaultKind.RELAY_DROP,
+                    f"relay/{self.listen_port}->{self.target_port}"
+                    f"/conn{index}"):
+                client.close()
+                with self._lock:
+                    self.connections_dropped += 1
+                continue
+            handler = threading.Thread(
                 target=self._handle, args=(client,), daemon=True
-            ).start()
+            )
+            with self._lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(handler)
+            handler.start()
 
     def _handle(self, client: socket.socket) -> None:
         try:
@@ -102,14 +146,21 @@ class TcpRelay:
             return
         with self._lock:
             self.connections_handled += 1
-        pump_a = threading.Thread(
-            target=self._pump, args=(client, upstream), daemon=True
-        )
-        pump_b = threading.Thread(
+            self._active.add(client)
+            self._active.add(upstream)
+        # run one direction in a helper thread, the other inline; both
+        # sockets are closed exactly once, here, after both pumps end
+        pump = threading.Thread(
             target=self._pump, args=(upstream, client), daemon=True
         )
-        pump_a.start()
-        pump_b.start()
+        pump.start()
+        self._pump(client, upstream)
+        pump.join()
+        with self._lock:
+            self._active.discard(client)
+            self._active.discard(upstream)
+        for sock in (client, upstream):
+            sock.close()
 
     def _pump(self, source: socket.socket, sink: socket.socket) -> None:
         try:
@@ -123,12 +174,13 @@ class TcpRelay:
         except OSError:
             pass
         finally:
-            for sock in (source, sink):
-                try:
-                    sock.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
-                sock.close()
+            # half-close: propagate this direction's EOF without
+            # killing the reverse direction (and never close here —
+            # the peer pump may still be using these sockets)
+            try:
+                sink.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
 
 
 def free_port() -> int:

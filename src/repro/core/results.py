@@ -31,6 +31,11 @@ class InvocationRecord:
     perf: dict[str, int]
     cost_breakdown: dict[str, float] = field(default_factory=dict)
     transport_ns: float = 0.0   # Fig. 2 dispatch-path time (not in elapsed)
+    #: failure-handling metadata; defaults describe a clean first-try
+    #: run and are omitted from serialisation (byte-stable output)
+    attempts: int = 1
+    faults_injected: tuple[str, ...] = ()
+    degraded: bool = False
 
     @classmethod
     def from_run(cls, run_result, function: str,
@@ -49,11 +54,14 @@ class InvocationRecord:
                 category.value: nanos for category, nanos in run_result.ledger
             },
             transport_ns=transport_ns,
+            attempts=getattr(run_result, "attempts", 1),
+            faults_injected=tuple(getattr(run_result, "faults_injected", ())),
+            degraded=getattr(run_result, "degraded", False),
         )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able form (what the REST API returns)."""
-        return {
+        payload = {
             "function": self.function,
             "language": self.language,
             "platform": self.platform,
@@ -65,6 +73,11 @@ class InvocationRecord:
             "cost_breakdown": self.cost_breakdown,
             "transport_ns": self.transport_ns,
         }
+        if self.attempts != 1 or self.faults_injected or self.degraded:
+            payload["attempts"] = self.attempts
+            payload["faults_injected"] = list(self.faults_injected)
+            payload["degraded"] = self.degraded
+        return payload
 
 
 @dataclass(frozen=True)

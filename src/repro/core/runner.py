@@ -32,11 +32,19 @@ from __future__ import annotations
 import hashlib
 import json
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Any, Callable, Iterator, Protocol, Sequence
 
-from repro.errors import GatewayError
+from repro.errors import AttestationError, GatewayError, VmCrashError
+from repro.hw.perfcounters import PerfCounters
+from repro.sim.faults import (
+    DEFAULT_RETRY_POLICY,
+    FailureLog,
+    FaultContext,
+    FaultPlan,
+)
+from repro.sim.ledger import CostCategory, CostLedger
 from repro.sim.rng import SimRng, derive_seed
 from repro.sim.trace import Trace
 from repro.tee.base import VmConfig
@@ -71,6 +79,7 @@ class TrialSpec:
     seed: int                   # experiment root seed
     params_json: str = "{}"     # canonical JSON of body parameters
     contention: float = 1.0     # host oversubscription factor
+    faults: str = ""            # canonical fault-plan spec; "" = none
 
     @classmethod
     def make(cls, kind: str, platform: str, secure: bool, workload: str,
@@ -127,9 +136,15 @@ class TrialSpec:
         """The trial's independent RNG substream."""
         return SimRng(self.seed, self._stream_label())
 
+    def fault_plan(self) -> FaultPlan | None:
+        """The decoded fault plan, or None when no faults are set."""
+        if not self.faults:
+            return None
+        return FaultPlan.parse(self.faults)
+
     def content_hash(self) -> str:
         """Stable digest of everything that determines the result."""
-        blob = json.dumps({
+        blob = {
             "kind": self.kind,
             "platform": self.platform,
             "secure": self.secure,
@@ -139,8 +154,13 @@ class TrialSpec:
             "seed": self.seed,
             "params": self.params_json,
             "contention": self.contention,
-        }, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        }
+        # only faulted specs hash the plan, so every pre-existing cache
+        # entry stays addressable under its original digest
+        if self.faults:
+            blob["faults"] = self.faults
+        encoded = json.dumps(blob, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -165,6 +185,17 @@ class TrialPlan:
         for spec in self.specs:
             digest.update(spec.content_hash().encode())
         return digest.hexdigest()
+
+    def with_faults(self, spec: "str | FaultPlan") -> "TrialPlan":
+        """A copy of this plan with a fault plan applied to every spec.
+
+        ``spec`` is canonicalised (parse → :meth:`FaultPlan.to_spec`)
+        so equivalent spellings of the same plan hash identically.
+        """
+        canonical = FaultPlan.parse(spec).to_spec()
+        return TrialPlan(specs=tuple(
+            replace(member, faults=canonical) for member in self.specs
+        ))
 
     @classmethod
     def matrix(
@@ -388,22 +419,111 @@ def execute_trial(spec: TrialSpec) -> RunResult:
     """Run one trial from scratch: fresh platform, fresh VM, traced.
 
     The result is a pure function of the spec — the platform and VM
-    are rebuilt per trial and the RNG substream comes from the spec —
-    which is what makes serial and parallel execution bit-identical.
+    are rebuilt per trial, the RNG substream comes from the spec, and
+    every fault decision is drawn from ``(fault seed, kind, label)``
+    substreams keyed by the spec's own stream label — which is what
+    makes serial and parallel execution bit-identical, faults or not.
+
+    With a fault plan set on the spec, retryable failures (VM crashes,
+    attestation transients/timeouts that exhausted the verifier's own
+    retries) re-run the trial on a fresh VM under
+    :data:`~repro.sim.faults.DEFAULT_RETRY_POLICY`; the dead attempts'
+    wasted time plus backoff is charged to the surviving result's
+    STARTUP bucket and replayed into its trace as ``failure``/``retry``
+    spans.  A trial that exhausts its attempts returns a *degraded*
+    result rather than raising, so no trial is ever silently dropped.
     """
+    plan = spec.fault_plan()
+    if plan is None or not plan.active:
+        return _attempt_trial(spec, None, FailureLog())
+
+    policy = DEFAULT_RETRY_POLICY
+    label = spec._stream_label()
+    failures = FailureLog()
+    injected: list[str] = []
+    attempt = 0
+    while policy.allows(attempt, failures.surcharge_ns):
+        faults = FaultContext(plan, f"{label}/a{attempt}")
+        try:
+            result = _attempt_trial(spec, faults, failures)
+        except (VmCrashError, AttestationError) as exc:
+            injected.extend(faults.injected)
+            final = not policy.allows(attempt + 1, failures.surcharge_ns)
+            failures.add(
+                type(exc).__name__,
+                wasted_ns=getattr(exc, "wasted_ns", 0.0),
+                backoff_ns=0.0 if final else policy.backoff_ns(attempt),
+            )
+            attempt += 1
+            continue
+        injected.extend(faults.injected)
+        surcharge = failures.surcharge_ns
+        if surcharge > 0:
+            result.ledger.charge(CostCategory.STARTUP, surcharge)
+            result.total_ns += surcharge
+        if attempt or injected:
+            result.attempts = attempt + 1
+            result.faults_injected = tuple(injected)
+        return result
+    return _degraded_result(spec, failures, injected, attempt)
+
+
+def _attempt_trial(spec: TrialSpec, faults: FaultContext | None,
+                   failures: FailureLog) -> RunResult:
+    """One attempt of one trial; prior failures are replayed first."""
     platform = platform_by_name(spec.platform, seed=spec.seed)
     vm = platform.create_vm(VmConfig(secure=spec.secure))
     trace = Trace()
+    failures.replay(trace)
     boot_ns = vm.boot()
     trace.record("boot", 0.0, boot_ns)
     body = build_body(spec)
-    return vm.run(
-        body,
-        name=spec.run_name,
+    try:
+        return vm.run(
+            body,
+            name=spec.run_name,
+            trial=spec.trial,
+            contention=spec.contention,
+            rng=spec.rng(),
+            trace=trace,
+            faults=faults,
+        )
+    except VmCrashError as exc:
+        # the crashed attempt also threw away its boot
+        exc.wasted_ns += boot_ns
+        raise
+
+
+def _degraded_result(spec: TrialSpec, failures: FailureLog,
+                     injected: list[str], attempts: int) -> RunResult:
+    """The placeholder a trial returns when every attempt failed.
+
+    ``output`` is None and ``degraded`` is True; ``elapsed_ns`` stays
+    0 (nothing measurable completed) while ``total_ns`` carries the
+    full failure surcharge, so sweeps can both spot and cost the loss.
+    """
+    trace = Trace()
+    failures.replay(trace)
+    ledger = CostLedger()
+    surcharge = failures.surcharge_ns
+    if surcharge > 0:
+        ledger.charge(CostCategory.STARTUP, surcharge)
+    side = "secure" if spec.secure else "normal"
+    return RunResult(
+        vm_id=f"degraded/{spec.platform}/{side}",
+        platform=spec.platform,
+        secure=spec.secure,
+        workload=spec.run_name,
+        output=None,
+        elapsed_ns=0.0,
+        total_ns=surcharge,
+        ledger=ledger,
+        counters=PerfCounters(),
         trial=spec.trial,
-        contention=spec.contention,
-        rng=spec.rng(),
         trace=trace,
+        attempts=attempts,
+        faults_injected=tuple(injected),
+        degraded=True,
     )
 
 
@@ -474,11 +594,16 @@ class TrialRunner:
         :class:`repro.core.resultstore.SpecResultCache`): trials whose
         spec hash is already cached are skipped and their archived
         results returned in place.
+    faults:
+        Optional fault plan (a spec string or :class:`FaultPlan`)
+        applied to every plan this runner executes; see
+        :meth:`TrialPlan.with_faults`.
     """
 
     def __init__(self, jobs: int = 1,
                  executor: TrialExecutor | None = None,
-                 cache=None) -> None:
+                 cache=None,
+                 faults: "str | FaultPlan | None" = None) -> None:
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
         if executor is not None:
@@ -488,6 +613,9 @@ class TrialRunner:
         else:
             self.executor = SerialTrialExecutor()
         self.cache = cache
+        self.faults = (
+            FaultPlan.parse(faults).to_spec() if faults is not None else None
+        )
         #: (plan, results) pairs from every ``run`` call, in order —
         #: what ``report.trace_payload`` serialises for trace dumps.
         self.history: list[tuple[TrialPlan, list[RunResult]]] = []
@@ -496,6 +624,8 @@ class TrialRunner:
 
     def run(self, plan: TrialPlan) -> list[RunResult]:
         """Execute every spec in the plan; results in spec order."""
+        if self.faults:
+            plan = plan.with_faults(self.faults)
         results: dict[int, RunResult] = {}
         pending: list[tuple[int, TrialSpec]] = []
         for index, spec in enumerate(plan):

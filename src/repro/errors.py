@@ -57,8 +57,29 @@ class VmError(TeeError):
     """VM lifecycle errors (not booted, double-destroy, bad state)."""
 
 
+class VmCrashError(VmError):
+    """The VM died mid-execution (injected TD-exit style crash).
+
+    ``wasted_ns`` is the virtual time the dead attempt burned — the
+    retry machinery charges it (plus backoff) to the surviving
+    result's STARTUP bucket.
+    """
+
+    def __init__(self, message: str, wasted_ns: float = 0.0) -> None:
+        super().__init__(message)
+        self.wasted_ns = wasted_ns
+
+
 class AttestationError(ConfBenchError):
     """Attestation protocol failures."""
+
+
+class TransientAttestationError(AttestationError):
+    """A verification attempt failed transiently; retrying may succeed."""
+
+
+class CollateralTimeoutError(AttestationError):
+    """A collateral fetch (e.g. from the Intel PCS) timed out."""
 
 
 class QuoteVerificationError(AttestationError):

@@ -110,6 +110,10 @@ class ExecContext:
     #: optional span trace; workload bodies may open sub-spans on it
     #: via ``ctx.trace.span(...)`` (see :mod:`repro.sim.trace`)
     trace: "object | None" = None
+    #: optional fault-injection context for this run (see
+    #: :class:`repro.sim.faults.FaultContext`); consumers such as the
+    #: PCS and the verifiers probe it for injected failures
+    faults: "object | None" = None
 
     def __post_init__(self) -> None:
         self._run_noise = self.rng.lognormal_factor(self.profile.noise_sigma)

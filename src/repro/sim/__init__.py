@@ -14,6 +14,10 @@ This package provides the foundation every other layer builds on:
 - :mod:`repro.sim.trace` — structured span traces recording each
   run's phases (boot/launch/execute/...) with virtual timestamps and
   per-span ledger deltas.
+- :mod:`repro.sim.faults` — seeded fault injection (:class:`FaultPlan`)
+  with the same label-derived substream scheme as the jitter streams,
+  plus the :class:`RetryPolicy` / :class:`FailureLog` machinery the
+  failure-handling layers build on.
 
 All timing in the reproduction is virtual: for a fixed seed, every
 experiment is reproducible bit-for-bit while still exhibiting realistic
@@ -21,6 +25,13 @@ percentile spreads.
 """
 
 from repro.sim.clock import VirtualClock
+from repro.sim.faults import (
+    FailureLog,
+    FaultContext,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.sim.ledger import CostCategory, CostLedger
 from repro.sim.rng import SimRng
 from repro.sim.events import EventLoop, Event
@@ -35,4 +46,9 @@ __all__ = [
     "Event",
     "Span",
     "Trace",
+    "FaultKind",
+    "FaultPlan",
+    "FaultContext",
+    "RetryPolicy",
+    "FailureLog",
 ]

@@ -1,0 +1,284 @@
+"""Seeded, spec-derived fault injection.
+
+Real CVM deployments fail constantly at trust boundaries: attestation
+collateral fetches time out, TD-exits kill VMs, relays drop
+connections ("Characterizing Trust Boundary Vulnerabilities in TEE
+Containers" catalogs exactly these modes).  This module makes those
+failures *first-class simulation inputs*: a :class:`FaultPlan` maps
+fault kinds to per-trial probabilities, and every decision is drawn
+from a label-derived :class:`~repro.sim.rng.SimRng` substream — the
+same content-hash scheme the jitter streams use.
+
+The determinism contract:
+
+- Every ``triggers`` decision is a pure function of ``(plan seed,
+  fault kind, label)``.  No shared stream state exists, so the order
+  in which consumers ask is irrelevant — serial and parallel trial
+  execution stay bit-identical under faults.
+- Labels embed the trial's own stream label (plus the attempt index
+  and the injection point), so trial K's faults do not move when the
+  trial count changes, and each retry re-rolls independently.
+- A zero rate short-circuits to False *without drawing*, so a
+  zero-rate plan is byte-identical to running with no plan at all.
+
+:class:`RetryPolicy` bounds the failure handling built on top
+(bounded attempts, exponential backoff charged to the cost ledger,
+an optional per-trial virtual-time deadline), and :class:`FailureLog`
+replays failed attempts into a :class:`~repro.sim.trace.Trace` as
+structured ``failure`` / ``retry`` spans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.sim.rng import SimRng
+from repro.sim.trace import Trace
+
+#: Scale of the virtual time a crashed VM wastes before dying (the
+#: partial execution between launch and the fatal TD-exit).
+CRASH_WASTE_SCALE_NS = 200_000_000.0
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the simulation can inject."""
+
+    VM_CRASH = "vm-crash"               # the VM dies mid-execute (TD-exit)
+    SLOW_TRIAL = "slow-trial"           # a whole trial runs degraded
+    ATTEST_TRANSIENT = "attest-transient"  # transient verification failure
+    PCS_TIMEOUT = "pcs-timeout"         # collateral fetch times out
+    RELAY_DROP = "relay-drop"           # the TCP relay drops a connection
+
+    @classmethod
+    def parse(cls, name: str) -> "FaultKind":
+        for kind in cls:
+            if kind.value == name:
+                return kind
+        known = ", ".join(kind.value for kind in cls)
+        raise SimulationError(f"unknown fault kind {name!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-kind fault rates plus the seed all decisions derive from.
+
+    ``rates`` maps :class:`FaultKind` to a per-decision probability in
+    [0, 1].  Kinds absent from the mapping never fire, and a rate of
+    exactly 0 makes no draw at all (the zero-rate identity).
+    """
+
+    seed: int = 0
+    slow_factor: float = 3.0
+    rates: dict[FaultKind, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.slow_factor < 1.0:
+            raise SimulationError(
+                f"slow-factor must be >= 1.0, got {self.slow_factor}")
+        for kind, rate in self.rates.items():
+            if not isinstance(kind, FaultKind):
+                raise SimulationError(f"rates must be keyed by FaultKind, "
+                                      f"got {kind!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(
+                    f"rate for {kind.value} must be in [0, 1], got {rate}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any kind can ever fire."""
+        return any(rate > 0.0 for rate in self.rates.values())
+
+    def rate(self, kind: FaultKind) -> float:
+        return self.rates.get(kind, 0.0)
+
+    def triggers(self, kind: FaultKind, label: str) -> bool:
+        """Decide one injection, purely from ``(seed, kind, label)``.
+
+        Each (kind, label) pair owns an independent substream, so
+        adding a new fault kind — or a new consumer — never perturbs
+        the decisions of existing ones.
+        """
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False          # zero-rate identity: no draw at all
+        if rate >= 1.0:
+            return True
+        return SimRng(self.seed, f"fault/{kind.value}/{label}").bernoulli(rate)
+
+    def crash_waste_ns(self, label: str) -> float:
+        """Virtual time a crashed VM burned before dying."""
+        draw = SimRng(self.seed, f"fault/waste/{label}").uniform(0.1, 1.0)
+        return draw * CRASH_WASTE_SCALE_NS
+
+    # -- the canonical spec-string form --------------------------------
+
+    @classmethod
+    def parse(cls, spec: "str | FaultPlan") -> "FaultPlan":
+        """Build a plan from a ``key=value,...`` spec string.
+
+        Keys are the fault-kind values (``vm-crash=0.1``) plus
+        ``seed`` and ``slow-factor``.  Passing a plan returns it
+        unchanged, so call sites accept either form.
+        """
+        if isinstance(spec, FaultPlan):
+            return spec
+        seed = 0
+        slow_factor = 3.0
+        rates: dict[FaultKind, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not value:
+                raise SimulationError(
+                    f"bad fault spec entry {part!r}; expected key=value")
+            try:
+                if key == "seed":
+                    seed = int(value)
+                elif key == "slow-factor":
+                    slow_factor = float(value)
+                else:
+                    rates[FaultKind.parse(key)] = float(value)
+            except ValueError as exc:
+                raise SimulationError(
+                    f"bad fault spec value {part!r}: {exc}") from exc
+        return cls(seed=seed, slow_factor=slow_factor, rates=rates)
+
+    def to_spec(self) -> str:
+        """The canonical spec string (stable field order, ``%g`` rates).
+
+        Round-trips through :meth:`parse`; used to embed plans in
+        :class:`~repro.core.runner.TrialSpec` content hashes.
+        """
+        parts = [f"{kind.value}={self.rates[kind]:g}"
+                 for kind in FaultKind if self.rates.get(kind, 0.0) > 0.0]
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        if self.slow_factor != 3.0:
+            parts.append(f"slow-factor={self.slow_factor:g}")
+        return ",".join(parts)
+
+
+class FaultContext:
+    """A plan bound to one scope (one trial attempt, one request).
+
+    Consumers ask ``triggers(kind, point)``; the scope plus the point
+    name form the decision label.  Every fired injection is appended
+    to ``injected`` so results can report exactly which faults hit —
+    child scopes (see :meth:`scoped`) share the parent's log.
+    """
+
+    def __init__(self, plan: FaultPlan, scope: str) -> None:
+        self.plan = plan
+        self.scope = scope
+        self.injected: list[str] = []
+
+    def triggers(self, kind: FaultKind, point: str) -> bool:
+        if self.plan.triggers(kind, f"{self.scope}/{point}"):
+            self.injected.append(f"{kind.value}@{point}")
+            return True
+        return False
+
+    def waste_ns(self, point: str) -> float:
+        """Crash-waste draw scoped to this context."""
+        return self.plan.crash_waste_ns(f"{self.scope}/{point}")
+
+    def scoped(self, suffix: str) -> "FaultContext":
+        """A child context with a narrower scope, sharing the log."""
+        child = FaultContext(self.plan, f"{self.scope}/{suffix}")
+        child.injected = self.injected
+        return child
+
+    def __repr__(self) -> str:
+        return f"FaultContext(scope={self.scope!r})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential, ledger-charged backoff."""
+
+    max_attempts: int = 3
+    backoff_base_ns: float = 2_000_000.0
+    backoff_factor: float = 2.0
+    deadline_ns: float | None = None    # virtual-time budget for retries
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_ns < 0 or self.backoff_factor < 1.0:
+            raise SimulationError("backoff must be non-negative and "
+                                  "non-shrinking")
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Backoff charged before retrying after failed ``attempt``."""
+        return self.backoff_base_ns * self.backoff_factor ** attempt
+
+    def allows(self, attempt: int, spent_ns: float) -> bool:
+        """Whether attempt number ``attempt`` (0-based) may start."""
+        if attempt >= self.max_attempts:
+            return False
+        if self.deadline_ns is not None and spent_ns >= self.deadline_ns:
+            return False
+        return True
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass
+class FailureEvent:
+    """One failed attempt: what died, the time it wasted, the backoff."""
+
+    reason: str
+    wasted_ns: float = 0.0
+    backoff_ns: float = 0.0
+
+
+class FailureLog:
+    """Accumulates failed attempts across the retries of one request."""
+
+    def __init__(self, events: Iterable[FailureEvent] = ()) -> None:
+        self.events: list[FailureEvent] = list(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def add(self, reason: str, wasted_ns: float = 0.0,
+            backoff_ns: float = 0.0) -> None:
+        if wasted_ns < 0 or backoff_ns < 0:
+            raise SimulationError("failure accounting cannot be negative")
+        self.events.append(FailureEvent(reason=reason, wasted_ns=wasted_ns,
+                                        backoff_ns=backoff_ns))
+
+    @property
+    def surcharge_ns(self) -> float:
+        """Total virtual time the failures cost (waste + backoff)."""
+        return sum(ev.wasted_ns + ev.backoff_ns for ev in self.events)
+
+    def replay(self, trace: Trace) -> float:
+        """Record the failures as ``failure``/``retry`` root spans.
+
+        Spans are laid out sequentially from virtual time 0 and carry
+        their cost in the ``startup`` breakdown bucket — infrastructure
+        time, like boot, excluded from the paper's elapsed metric but
+        visible in ``total_ns`` — which keeps the trace invariant (root
+        ledger deltas sum to the run ledger) once the same surcharge is
+        charged to the result's ledger.  Returns the total surcharge.
+        """
+        cursor = 0.0
+        for event in self.events:
+            if event.wasted_ns > 0:
+                trace.record("failure", cursor, cursor + event.wasted_ns,
+                             breakdown={"startup": event.wasted_ns})
+                cursor += event.wasted_ns
+            if event.backoff_ns > 0:
+                trace.record("retry", cursor, cursor + event.backoff_ns,
+                             breakdown={"startup": event.backoff_ns})
+                cursor += event.backoff_ns
+        return cursor

@@ -20,11 +20,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import VmError
+from repro.errors import VmCrashError, VmError
 from repro.guestos.context import ExecContext
 from repro.guestos.kernel import GuestKernel
 from repro.hw.perfcounters import PerfCounters
 from repro.sim.clock import ns_to_ms
+from repro.sim.faults import FaultContext, FaultKind
 from repro.sim.ledger import CostCategory, CostLedger
 from repro.sim.rng import SimRng
 from repro.sim.trace import Trace
@@ -54,6 +55,11 @@ class RunResult:
     counters: PerfCounters
     trial: int = 0
     trace: Trace = field(default_factory=Trace)
+    #: failure-handling metadata (left at defaults on clean runs so a
+    #: zero-fault serialisation is byte-identical to the classic form)
+    attempts: int = 1
+    faults_injected: tuple[str, ...] = ()
+    degraded: bool = False
 
     @property
     def elapsed_ms(self) -> float:
@@ -62,7 +68,7 @@ class RunResult:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able summary (what the gateway returns to users)."""
-        return {
+        payload = {
             "vm_id": self.vm_id,
             "platform": self.platform,
             "secure": self.secure,
@@ -78,6 +84,11 @@ class RunResult:
             },
             "trace": self.trace.to_list(),
         }
+        if self.attempts != 1 or self.faults_injected or self.degraded:
+            payload["attempts"] = self.attempts
+            payload["faults_injected"] = list(self.faults_injected)
+            payload["degraded"] = self.degraded
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunResult":
@@ -102,6 +113,9 @@ class RunResult:
             counters=PerfCounters(**payload["perf"]),
             trial=payload["trial"],
             trace=trace,
+            attempts=payload.get("attempts", 1),
+            faults_injected=tuple(payload.get("faults_injected", ())),
+            degraded=payload.get("degraded", False),
         )
 
 
@@ -159,6 +173,7 @@ class Vm:
         contention: float = 1.0,
         rng: SimRng | None = None,
         trace: Trace | None = None,
+        faults: FaultContext | None = None,
     ) -> RunResult:
         """Execute ``workload`` in this VM and measure it.
 
@@ -177,6 +192,12 @@ class Vm:
         spans at minimum); pass ``trace`` to prepend host-side spans
         such as ``boot``.  Workload bodies can open sub-spans through
         ``kernel.ctx.trace``.
+
+        ``faults`` enables seeded fault injection: a triggered
+        slow-trial degrades the whole run (like contention), and a
+        triggered vm-crash destroys the VM mid-execute and raises
+        :class:`~repro.errors.VmCrashError` carrying the wasted
+        virtual time.
         """
         if self.state is not VmState.BOOTED:
             raise VmError(f"{self.vm_id}: cannot run in state {self.state.value}")
@@ -186,12 +207,15 @@ class Vm:
         self.run_count += 1
         machine = self.platform.build_machine()
         profile = self.platform.profile_for(self.secure)
-        if contention > 1.0:
+        slowdown = contention
+        if faults is not None and faults.triggers(FaultKind.SLOW_TRIAL, "slow"):
+            slowdown *= faults.plan.slow_factor
+        if slowdown > 1.0:
             import dataclasses
 
             profile = dataclasses.replace(
                 profile,
-                simulator_multiplier=profile.simulator_multiplier * contention,
+                simulator_multiplier=profile.simulator_multiplier * slowdown,
             )
         if trace is None:
             trace = Trace()
@@ -201,6 +225,7 @@ class Vm:
             rng=(rng if rng is not None
                  else self.platform.rng.child(f"{self.vm_id}/{name}/{trial}")),
             trace=trace,
+            faults=faults,
         )
         kernel = GuestKernel(ctx)
         with trace.span("launch", ctx):
@@ -213,6 +238,18 @@ class Vm:
 
         before = machine.counters.snapshot()
         with trace.span("execute", ctx):
+            if faults is not None and faults.triggers(FaultKind.VM_CRASH,
+                                                     "execute"):
+                # the TD dies partway through the body: account for the
+                # work already charged plus a drawn partial-execution
+                # waste, then leave the VM unusable
+                wasted = (ctx.elapsed_ns(exclude_startup=False)
+                          + faults.waste_ns("execute"))
+                self.state = VmState.DESTROYED
+                raise VmCrashError(
+                    f"{self.vm_id}: injected VM crash during execute",
+                    wasted_ns=wasted,
+                )
             output = workload(kernel)
         delta = machine.counters.delta(before)
         self.counters.add(delta)

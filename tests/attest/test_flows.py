@@ -182,3 +182,113 @@ class TestFig5Shape:
         tdx_result = TdxVerifier(pcs).verify(quote, tdx_ctx(2))
         snp_result = SnpVerifier(keys).verify(report, snp_ctx(2))
         assert snp_result.elapsed_ns < tdx_result.elapsed_ns / 10
+
+
+class TestVerifierRetries:
+    """Transient-fault retries with backoff charged to the ledger."""
+
+    def _timeout_plan(self, seed):
+        from repro.sim.faults import FaultContext, FaultPlan
+
+        return FaultContext(
+            FaultPlan.parse(f"pcs-timeout=0.25,seed={seed}"), "req")
+
+    def test_pcs_timeout_retry_charges_network(self, tdx_world):
+        from repro.sim.faults import RetryPolicy
+
+        pcs, qe, module = tdx_world
+        quote = generate_tdx_quote(module, qe, pcs, tdx_ctx(), b"n")
+
+        clean = tdx_ctx(2)
+        TdxVerifier(pcs).verify(quote, clean, expected_report_data=b"n")
+        clean_network = clean.ledger.breakdown()[CostCategory.NETWORK]
+
+        recovered = 0
+        for seed in range(30):
+            ctx = tdx_ctx(2)
+            ctx.faults = self._timeout_plan(seed)
+            mark = len(pcs.request_log)
+            try:
+                result = TdxVerifier(
+                    pcs, retry_policy=RetryPolicy()).verify(
+                    quote, ctx, expected_report_data=b"n")
+            except AttestationError:
+                continue
+            timeouts = sum(1 for entry in pcs.request_log[mark:]
+                           if entry.endswith("!timeout"))
+            if not timeouts:
+                continue
+            recovered += 1
+            assert result.accepted
+            # timed-out fetches + exponential backoff both cost
+            # network time, so the ledger must exceed the clean run
+            network = ctx.ledger.breakdown()[CostCategory.NETWORK]
+            assert network > clean_network
+            # ctx.faults is restored after the verifier's scoped swaps
+            assert ctx.faults.scope == "req"
+        assert recovered > 0, "no seed recovered after a timeout"
+
+    def test_certain_timeouts_exhaust_retries(self, tdx_world):
+        from repro.errors import CollateralTimeoutError
+        from repro.sim.faults import FaultContext, FaultPlan
+
+        pcs, qe, module = tdx_world
+        quote = generate_tdx_quote(module, qe, pcs, tdx_ctx(), b"n")
+        ctx = tdx_ctx(2)
+        ctx.faults = FaultContext(FaultPlan.parse("pcs-timeout=1"), "req")
+        with pytest.raises(CollateralTimeoutError):
+            TdxVerifier(pcs).verify(quote, ctx, expected_report_data=b"n")
+
+    def test_transient_retry_is_deterministic(self, tdx_world):
+        from repro.sim.faults import FaultContext, FaultPlan
+
+        pcs, qe, module = tdx_world
+        quote = generate_tdx_quote(module, qe, pcs, tdx_ctx(), b"n")
+
+        def run():
+            # note: network charges draw from the PCS's own stateful
+            # rng, so only the fault decisions and outcome are compared
+            ctx = tdx_ctx(2)
+            faults = FaultContext(
+                FaultPlan.parse("attest-transient=0.4,seed=5"), "req")
+            ctx.faults = faults
+            try:
+                TdxVerifier(pcs).verify(quote, ctx,
+                                        expected_report_data=b"n")
+                outcome = "accepted"
+            except AttestationError:
+                outcome = "exhausted"
+            return outcome, tuple(faults.injected)
+
+        first = run()
+        assert first == run()
+        assert first[0] in ("accepted", "exhausted")
+
+    def test_snp_transient_retry_charges_crypto(self, snp_world):
+        from repro.sim.faults import FaultContext, FaultPlan
+
+        keys, amd_sp = snp_world
+        report = generate_snp_report(amd_sp, keys, snp_ctx(), b"n")
+
+        clean = snp_ctx(2)
+        SnpVerifier(keys).verify(report, clean, expected_report_data=b"n")
+        clean_crypto = clean.ledger.breakdown()[CostCategory.CRYPTO]
+
+        recovered = 0
+        for seed in range(40):
+            ctx = snp_ctx(2)
+            faults = FaultContext(
+                FaultPlan.parse(f"attest-transient=0.3,seed={seed}"), "req")
+            ctx.faults = faults
+            try:
+                result = SnpVerifier(keys).verify(
+                    report, ctx, expected_report_data=b"n")
+            except AttestationError:
+                continue
+            if not faults.injected:
+                continue
+            recovered += 1
+            assert result.accepted
+            crypto = ctx.ledger.breakdown()[CostCategory.CRYPTO]
+            assert crypto > clean_crypto
+        assert recovered > 0, "no seed recovered after a transient"

@@ -377,3 +377,172 @@ class TestPoolResilience:
         pool.evict(worker)
         pool.evict(worker)
         assert len(pool.workers) == 2
+
+
+class TestPoolFailureAccounting:
+    """The served/failed split and the cursor-under-eviction fixes."""
+
+    def make_pool(self, workers=3):
+        platform = platform_by_name("tdx", seed=2)
+        pool = TeePool(platform="tdx", secure=True,
+                       policy=LoadBalancingPolicy.ROUND_ROBIN)
+        for i in range(workers):
+            vm = platform.create_vm()
+            vm.boot()
+            pool.add_worker(vm, 9100 + i)
+        return pool
+
+    def test_failed_run_does_not_count_as_served(self):
+        from repro.errors import VmError
+
+        pool = self.make_pool(workers=1)
+        worker = pool.workers[0]
+        worker.vm.destroy()
+        with pytest.raises(VmError):
+            pool.run_on(worker, lambda k: None, name="x", trial=0)
+        assert worker.served == 0
+        assert worker.failed == 1
+        assert worker.inflight == 0
+        assert pool.total_failed() == 1
+
+    def test_least_loaded_ignores_failed_attempts(self):
+        # a worker whose runs keep dying must not look "experienced":
+        # with served counting only successes, least-loaded keeps
+        # treating it as idle rather than crediting its failures
+        pool = self.make_pool(workers=2)
+        pool.policy = LoadBalancingPolicy.LEAST_LOADED
+        from repro.errors import VmError
+
+        dead, healthy = pool.workers
+        dead.vm.destroy()
+        for _ in range(3):
+            with pytest.raises(VmError):
+                pool.run_on(dead, lambda k: None, name="x", trial=0)
+        assert (dead.inflight, dead.served) == (0, 0)
+        assert pool.pick() in (dead, healthy)  # both still tied at 0 served
+
+    def test_evict_before_cursor_does_not_skip_worker(self):
+        pool = self.make_pool(workers=3)
+        first = pool.pick()
+        assert first.port == 9100          # cursor now at index 1
+        pool.evict(pool.workers[0])        # evict the already-served 9100
+        # 9101 slid into index 0; the cursor must follow it
+        assert pool.pick().port == 9101
+        assert pool.pick().port == 9102
+
+    def test_evict_at_cursor_keeps_rotation_fair(self):
+        pool = self.make_pool(workers=3)
+        pool.pick()                        # 9100; cursor -> 9101
+        pool.evict(pool.workers[1])        # evict 9101 (the cursor target)
+        # rotation continues with the worker that replaced it
+        assert pool.pick().port == 9102
+        assert pool.pick().port == 9100
+
+    def test_cursor_stays_bounded(self):
+        pool = self.make_pool(workers=3)
+        for _ in range(50):
+            pool.pick()
+        assert 0 <= pool._cursor < len(pool.workers)
+        pool.evict(pool.workers[2])
+        pool.evict(pool.workers[1])
+        assert 0 <= pool._cursor < len(pool.workers)
+        assert pool.pick().port == 9100    # sole survivor still reachable
+
+
+class TestRespawn:
+    def test_host_respawn_vm_replaces_dead_vm(self):
+        host = Host(name="h", platform=platform_by_name("tdx"))
+        old = host.provision_vm(9100, secure=True)
+        old.destroy()
+        replacement = host.respawn_vm(9100)
+        assert replacement is not old
+        assert replacement.secure is True
+        assert host.vm_for_port(9100) is replacement
+        assert host.vms_respawned == 1
+        assert host.route(9100, lambda k: "alive").output == "alive"
+
+    def test_route_counts_only_validated_requests(self):
+        host = Host(name="h", platform=platform_by_name("tdx"))
+        host.provision_vm(9100, secure=True)
+        with pytest.raises(GatewayError):
+            host.route(9999, lambda k: None)
+        assert host.requests_routed == 0
+        host.route(9100, lambda k: None)
+        assert host.requests_routed == 1
+
+    def test_pool_respawn_keeps_worker_count(self):
+        config = GatewayConfig(entries=[
+            PlatformEntry(platform="tdx", host="xeon", base_port=9100,
+                          vm_count=4),
+        ], default_trials=2)
+        gateway = Gateway(config)
+        gateway.upload("factors")
+        pool = gateway.pools[("tdx", True)]
+        before = len(pool.workers)
+        pool.workers[0].vm.destroy()
+        records = gateway.invoke(InvocationRequest(
+            function="factors", language="lua", platform="tdx", trials=2,
+        ))
+        assert len(records) == 2
+        assert len(pool.workers) == before   # evicted AND respawned
+        assert gateway.hosts["tdx"].vms_respawned == 1
+
+
+class TestGatewayFaults:
+    def test_worker_faults_are_deterministic(self):
+        import json
+
+        def run():
+            gateway = Gateway(faults="vm-crash=0.4,seed=9")
+            gateway.upload("cpustress")
+            records = gateway.invoke(InvocationRequest(
+                function="cpustress", language="python", platform="tdx",
+                trials=5,
+            ))
+            return json.dumps([r.to_dict() for r in records], sort_keys=True)
+
+        assert run() == run()
+
+    def test_faulted_trials_never_dropped(self):
+        gateway = Gateway(faults="vm-crash=0.5,seed=4")
+        gateway.upload("cpustress")
+        records = gateway.invoke(InvocationRequest(
+            function="cpustress", language="python", platform="tdx",
+            trials=8,
+        ))
+        assert len(records) == 8
+        assert [r.trial for r in records] == list(range(8))
+        # every record is either a real run or explicitly degraded
+        for record in records:
+            assert record.degraded or record.output is not None
+
+    def test_retried_invocations_surface_attempts(self):
+        gateway = Gateway(faults="vm-crash=0.4,seed=9")
+        gateway.upload("cpustress")
+        records = gateway.invoke(InvocationRequest(
+            function="cpustress", language="python", platform="tdx",
+            trials=6,
+        ))
+        assert any(r.attempts > 1 for r in records)
+        retried = next(r for r in records if r.attempts > 1 and not r.degraded)
+        payload = retried.to_dict()
+        assert payload["attempts"] == retried.attempts
+        clean = next((r for r in records
+                      if r.attempts == 1 and not r.faults_injected), None)
+        if clean is not None:
+            assert "attempts" not in clean.to_dict()
+
+    def test_without_faults_exhaustion_still_raises(self):
+        config = GatewayConfig(entries=[
+            PlatformEntry(platform="tdx", host="xeon", base_port=9100,
+                          vm_count=2),
+        ], default_trials=1)
+        gateway = Gateway(config)
+        gateway.upload("factors")
+        for worker in list(gateway.pools[("tdx", True)].workers):
+            worker.vm.destroy()
+        gateway.hosts["tdx"].port_map.clear()   # nothing to respawn either
+        with pytest.raises(GatewayError):
+            gateway.invoke(InvocationRequest(
+                function="factors", language="lua", platform="tdx", trials=1,
+            ))

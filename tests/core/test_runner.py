@@ -201,3 +201,98 @@ class TestRunnerApi:
         plan = small_plan("tdx", trials=1)
         results = runner.run(plan)
         assert runner.history == [(plan, results)]
+
+
+FAULT_SPEC = ("vm-crash=0.3,slow-trial=0.2,attest-transient=0.2,"
+              "pcs-timeout=0.2,seed=11")
+
+
+class TestFaultInjection:
+    def test_zero_rate_plan_is_byte_identical_to_no_faults(self):
+        plan = small_plan("tdx", trials=3, seed=4)
+        baseline = dump(TrialRunner().run(plan))
+        zero = dump(TrialRunner(faults="vm-crash=0").run(plan))
+        assert zero == baseline
+
+    def test_serial_and_parallel_bit_identical_under_faults(self):
+        plan = small_plan("tdx", trials=4, seed=3)
+        serial = TrialRunner(faults=FAULT_SPEC).run(plan)
+        parallel = TrialRunner(jobs=4, faults=FAULT_SPEC).run(plan)
+        assert dump(serial) == dump(parallel)
+        # the fault rates are high enough that something actually fired
+        assert any(r.faults_injected for r in serial)
+
+    def test_trial_k_faults_stable_when_trial_count_changes(self):
+        short = small_plan("tdx", trials=3, seed=3)
+        long = small_plan("tdx", trials=6, seed=3)
+        short_results = TrialRunner(faults=FAULT_SPEC).run(short)
+        long_results = TrialRunner(faults=FAULT_SPEC).run(long)
+        assert dump(short_results) == dump(long_results[:len(short_results)])
+
+    def test_equivalent_fault_spellings_canonicalise(self):
+        plan = small_plan("tdx", trials=1)
+        a = plan.with_faults("vm-crash=0.1,seed=2")
+        b = plan.with_faults(" seed=2 , vm-crash=0.10 ")
+        assert a.content_hash() == b.content_hash()
+
+    def test_faulted_specs_hash_differently_but_cleanly(self):
+        plan = small_plan("tdx", trials=1)
+        faulted = plan.with_faults("vm-crash=0.1")
+        assert plan.content_hash() != faulted.content_hash()
+        # the unfaulted hash is untouched (old caches stay addressable)
+        assert plan.content_hash() == small_plan("tdx", trials=1).content_hash()
+
+    def test_crashed_trials_retry_and_charge_startup(self):
+        from repro.sim.ledger import CostCategory
+
+        plan = small_plan("tdx", trials=6, seed=3)
+        results = TrialRunner(faults="vm-crash=0.4,seed=7").run(plan)
+        retried = [r for r in results if r.attempts > 1 and not r.degraded]
+        assert retried, "expected at least one retried trial at rate 0.4"
+        for result in retried:
+            # waste + backoff land in STARTUP: total_ns grows, the
+            # paper metric elapsed_ns does not include them
+            breakdown = dict(result.ledger)
+            assert breakdown[CostCategory.STARTUP] > 0
+            assert result.total_ns > result.elapsed_ns
+            names = [span.name for span in result.trace.spans]
+            assert "failure" in names and "retry" in names
+
+    def test_exhausted_trials_degrade_never_drop(self):
+        plan = small_plan("tdx", trials=8, seed=1)
+        results = TrialRunner(faults="vm-crash=1").run(plan)
+        assert len(results) == len(plan.specs)
+        assert all(r.degraded for r in results)
+        assert all(r.output is None for r in results)
+        assert all(r.attempts == 3 for r in results)
+        # degraded results round-trip through serialisation
+        for result in results:
+            payload = result.to_dict()
+            assert payload["degraded"] is True
+
+    def test_trace_invariant_holds_under_faults(self):
+        plan = small_plan("tdx", trials=4, seed=3)
+        for result in TrialRunner(faults=FAULT_SPEC).run(plan):
+            assert result.trace.ledger_total_ns() == pytest.approx(
+                result.ledger.total())
+
+    def test_run_result_round_trips_fault_metadata(self):
+        from repro.tee.vm import RunResult
+
+        plan = small_plan("tdx", trials=6, seed=3)
+        results = TrialRunner(faults=FAULT_SPEC).run(plan)
+        for result in results:
+            clone = RunResult.from_dict(result.to_dict())
+            assert clone.attempts == result.attempts
+            assert clone.faults_injected == result.faults_injected
+            assert clone.degraded == result.degraded
+
+    def test_cache_reuses_faulted_results(self, tmp_path):
+        cache_file = tmp_path / "cache.jsonl"
+        plan = small_plan("tdx", trials=3, seed=3)
+        first = TrialRunner(cache=SpecResultCache(cache_file),
+                            faults=FAULT_SPEC).run(plan)
+        warm_cache = SpecResultCache(cache_file)
+        second = TrialRunner(cache=warm_cache, faults=FAULT_SPEC).run(plan)
+        assert dump(first) == dump(second)
+        assert warm_cache.hits == len(plan.specs)

@@ -219,3 +219,121 @@ class TestTcpRelay:
             records = client.invoke("ack", "wasm", platform="tdx",
                                     args={"m": 2, "n": 2}, trials=1)
             assert records[0]["output"]["result"] == 7
+
+
+class _DrainServer:
+    """Reads until client EOF, then replies — requires TCP half-close.
+
+    A relay that tears down both directions on the first EOF (instead
+    of propagating ``SHUT_WR``) can never deliver this server's reply:
+    the client must half-close to signal end-of-request while keeping
+    its receive side open for the response.
+    """
+
+    def __init__(self):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(4)
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            chunks = []
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+            conn.sendall(b"drained:" + b"".join(chunks))
+            conn.close()
+
+    def close(self):
+        self.sock.close()
+
+
+class TestRelayHalfClose:
+    def test_reply_after_client_eof_round_trips(self):
+        server = _DrainServer()
+        listen = free_port()
+        try:
+            with TcpRelay(listen, server.port) as relay:
+                with socket.create_connection(("127.0.0.1", listen),
+                                              timeout=5) as conn:
+                    conn.sendall(b"part1;")
+                    conn.sendall(b"part2")
+                    conn.shutdown(socket.SHUT_WR)   # end of request
+                    reply = b""
+                    while True:
+                        chunk = conn.recv(65536)
+                        if not chunk:
+                            break
+                        reply += chunk
+                assert reply == b"drained:part1;part2"
+                assert relay.connections_handled == 1
+        finally:
+            server.close()
+
+    def test_stop_joins_connection_threads(self):
+        server = _DrainServer()
+        listen = free_port()
+        relay = TcpRelay(listen, server.port)
+        relay.start()
+        try:
+            # leave a connection open mid-stream, then stop the relay:
+            # stop() must unblock and join the pump threads, not leak
+            conn = socket.create_connection(("127.0.0.1", listen), timeout=5)
+            conn.sendall(b"never-finished")
+            deadline = time.time() + 2.0
+            while relay.connections_handled < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            relay.stop()
+            assert relay._threads == []
+            conn.close()
+        finally:
+            server.close()
+
+
+class TestRelayFaults:
+    def test_seeded_connection_drops(self):
+        from repro.sim.faults import FaultKind, FaultPlan
+
+        echo = _EchoServer()
+        listen = free_port()
+        plan = FaultPlan.parse("relay-drop=0.5,seed=6")
+        outcomes = []
+        try:
+            with TcpRelay(listen, echo.port, faults=plan) as relay:
+                for i in range(8):
+                    with socket.create_connection(("127.0.0.1", listen),
+                                                  timeout=5) as conn:
+                        try:
+                            conn.sendall(f"m{i}".encode())
+                            outcomes.append(conn.recv(65536) != b"")
+                        except OSError:
+                            outcomes.append(False)
+                # handler threads bump the counters just after the
+                # client side closes; give them a moment to finish
+                deadline = time.time() + 2.0
+                while (relay.connections_dropped + relay.connections_handled
+                       < 8 and time.time() < deadline):
+                    time.sleep(0.01)
+                dropped = relay.connections_dropped
+                handled = relay.connections_handled
+            assert dropped + handled == 8
+            assert dropped > 0 and handled > 0
+            # the drop pattern is a pure function of (seed, conn index)
+            expected = [
+                not plan.triggers(FaultKind.RELAY_DROP,
+                                  f"relay/{listen}->{echo.port}/conn{i}")
+                for i in range(8)
+            ]
+            assert outcomes == expected
+        finally:
+            echo.close()

@@ -1,0 +1,170 @@
+"""Unit tests for the seeded fault-injection substrate."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.faults import (
+    CRASH_WASTE_SCALE_NS,
+    FailureLog,
+    FaultContext,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.sim.trace import Trace
+
+
+class TestFaultKind:
+    def test_parse_round_trips_every_kind(self):
+        for kind in FaultKind:
+            assert FaultKind.parse(kind.value) is kind
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(SimulationError, match="unknown fault kind"):
+            FaultKind.parse("disk-melt")
+
+
+class TestFaultPlan:
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(rates={FaultKind.VM_CRASH: 0.0})
+        assert not plan.active
+        assert not any(
+            plan.triggers(FaultKind.VM_CRASH, f"t{i}") for i in range(200)
+        )
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(rates={FaultKind.VM_CRASH: 1.0})
+        assert all(
+            plan.triggers(FaultKind.VM_CRASH, f"t{i}") for i in range(50)
+        )
+
+    def test_triggers_is_pure_function_of_seed_kind_label(self):
+        plan = FaultPlan(seed=7, rates={FaultKind.VM_CRASH: 0.5})
+        first = [plan.triggers(FaultKind.VM_CRASH, f"t{i}") for i in range(100)]
+        # asking again, in any order, reproduces the same decisions
+        second = [
+            plan.triggers(FaultKind.VM_CRASH, f"t{i}")
+            for i in reversed(range(100))
+        ]
+        assert first == list(reversed(second))
+
+    def test_kinds_draw_independent_substreams(self):
+        plan = FaultPlan(seed=3, rates={FaultKind.VM_CRASH: 0.5,
+                                        FaultKind.SLOW_TRIAL: 0.5})
+        crash = [plan.triggers(FaultKind.VM_CRASH, f"t{i}") for i in range(64)]
+        slow = [plan.triggers(FaultKind.SLOW_TRIAL, f"t{i}")
+                for i in range(64)]
+        assert crash != slow
+
+    def test_empirical_rate_near_nominal(self):
+        plan = FaultPlan(seed=1, rates={FaultKind.PCS_TIMEOUT: 0.3})
+        hits = sum(
+            plan.triggers(FaultKind.PCS_TIMEOUT, f"t{i}") for i in range(2000)
+        )
+        assert 0.25 < hits / 2000 < 0.35
+
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="slow-factor"):
+            FaultPlan(slow_factor=0.5)
+        with pytest.raises(SimulationError, match="rate for vm-crash"):
+            FaultPlan(rates={FaultKind.VM_CRASH: 1.5})
+        with pytest.raises(SimulationError, match="keyed by FaultKind"):
+            FaultPlan(rates={"vm-crash": 0.5})
+
+    def test_crash_waste_is_bounded_and_deterministic(self):
+        plan = FaultPlan(seed=5)
+        waste = plan.crash_waste_ns("trial/x")
+        assert 0.1 * CRASH_WASTE_SCALE_NS <= waste <= CRASH_WASTE_SCALE_NS
+        assert waste == plan.crash_waste_ns("trial/x")
+        assert waste != plan.crash_waste_ns("trial/y")
+
+
+class TestSpecParsing:
+    def test_parse_and_canonical_round_trip(self):
+        plan = FaultPlan.parse("pcs-timeout=0.1, vm-crash=0.05 ,seed=9")
+        assert plan.seed == 9
+        assert plan.rate(FaultKind.VM_CRASH) == 0.05
+        assert plan.rate(FaultKind.PCS_TIMEOUT) == 0.1
+        canonical = plan.to_spec()
+        assert canonical == "vm-crash=0.05,pcs-timeout=0.1,seed=9"
+        assert FaultPlan.parse(canonical) == plan
+
+    def test_parse_passthrough_and_slow_factor(self):
+        plan = FaultPlan.parse("slow-trial=0.2,slow-factor=5")
+        assert FaultPlan.parse(plan) is plan
+        assert plan.slow_factor == 5.0
+        assert "slow-factor=5" in plan.to_spec()
+
+    def test_parse_rejects_bad_entries(self):
+        with pytest.raises(SimulationError, match="expected key=value"):
+            FaultPlan.parse("vm-crash")
+        with pytest.raises(SimulationError, match="unknown fault kind"):
+            FaultPlan.parse("disk-melt=0.1")
+        with pytest.raises(SimulationError, match="bad fault spec value"):
+            FaultPlan.parse("vm-crash=lots")
+
+    def test_empty_spec_is_inactive(self):
+        plan = FaultPlan.parse("")
+        assert not plan.active
+        assert plan.to_spec() == ""
+
+
+class TestFaultContext:
+    def test_records_fired_injections(self):
+        ctx = FaultContext(FaultPlan(rates={FaultKind.VM_CRASH: 1.0}), "s")
+        assert ctx.triggers(FaultKind.VM_CRASH, "execute")
+        assert not ctx.triggers(FaultKind.SLOW_TRIAL, "slow")
+        assert ctx.injected == ["vm-crash@execute"]
+
+    def test_scoped_child_shares_log_but_narrows_labels(self):
+        plan = FaultPlan(seed=2, rates={FaultKind.PCS_TIMEOUT: 1.0})
+        parent = FaultContext(plan, "request")
+        child = parent.scoped("verify/a0")
+        assert child.scope == "request/verify/a0"
+        child.triggers(FaultKind.PCS_TIMEOUT, "/tcb")
+        assert parent.injected == ["pcs-timeout@/tcb"]
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_ns=10.0, backoff_factor=3.0)
+        assert policy.backoff_ns(0) == 10.0
+        assert policy.backoff_ns(2) == 90.0
+
+    def test_allows_bounds_attempts_and_deadline(self):
+        policy = RetryPolicy(max_attempts=2, deadline_ns=100.0)
+        assert policy.allows(0, 0.0)
+        assert policy.allows(1, 99.0)
+        assert not policy.allows(2, 0.0)
+        assert not policy.allows(1, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestFailureLog:
+    def test_surcharge_sums_waste_and_backoff(self):
+        log = FailureLog()
+        log.add("VmCrashError", wasted_ns=100.0, backoff_ns=10.0)
+        log.add("CollateralTimeoutError", backoff_ns=20.0)
+        assert len(log) == 2
+        assert log.surcharge_ns == 130.0
+
+    def test_rejects_negative_accounting(self):
+        with pytest.raises(SimulationError):
+            FailureLog().add("x", wasted_ns=-1.0)
+
+    def test_replay_emits_failure_and_retry_spans(self):
+        log = FailureLog()
+        log.add("VmCrashError", wasted_ns=100.0, backoff_ns=10.0)
+        trace = Trace()
+        cursor = log.replay(trace)
+        assert cursor == 110.0
+        names = [span.name for span in trace.spans]
+        assert names == ["failure", "retry"]
+        # spans are laid out sequentially and carry startup breakdowns
+        assert trace.spans[0].end_ns == trace.spans[1].start_ns == 100.0
+        assert trace.ledger_total_ns() == 110.0
