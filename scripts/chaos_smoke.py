@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Chaos smoke test: SIGKILL a sweep mid-run, resume it, demand bit-identity.
+
+For each scenario this driver runs the fig5 attestation sweep three
+times:
+
+1. *baseline* — uninterrupted, no journal, ``--trace-out`` captured;
+2. *interrupted* — the same sweep with ``--resume JOURNAL``, launched
+   as a subprocess, polled until the journal holds at least one trial
+   entry, then killed with SIGKILL (no chance to clean up — at worst a
+   torn final journal line, which recovery must truncate);
+3. *resumed* — the same command again against the same journal, run to
+   completion.
+
+The resumed run's trace JSON must be byte-identical to the baseline's.
+Scenarios cover serial and parallel execution, with and without fault
+injection.  Exit status 0 means every scenario held; 1 names the ones
+that did not.
+
+Usage::
+
+    python scripts/chaos_smoke.py              # all scenarios
+    python scripts/chaos_smoke.py --only serial-faulted
+    python scripts/chaos_smoke.py --trials 4 --keep
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Rates chosen so every trial recovers within its retries: fig5's
+# analysis needs the attest/check spans, which a fully degraded trial
+# does not have.
+FAULTS = "pcs-timeout=0.3,attest-transient=0.2,seed=7"
+
+#: name -> (jobs, fault spec or None)
+SCENARIOS = {
+    "serial-clean": (1, None),
+    "serial-faulted": (1, FAULTS),
+    "parallel-clean": (2, None),
+    "parallel-faulted": (2, FAULTS),
+}
+
+
+def cli_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    return env
+
+
+def run_cli(args: list[str], timeout: float) -> None:
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=REPO, env=cli_env(), timeout=timeout, check=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+    )
+
+
+def journaled_trials(path: Path) -> int:
+    """Completed trial entries currently in the journal (cheap poll)."""
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return 0
+    return sum(1 for line in raw.split(b"\n")
+               if b'"kind": "trial"' in line and line.endswith(b"}"))
+
+
+def interrupt_sweep(args: list[str], journal: Path, timeout: float) -> int:
+    """Start the sweep, SIGKILL it once the journal has an entry.
+
+    Returns the number of trials journaled at kill time.  A sweep fast
+    enough to finish before the poll sees an entry simply completes —
+    the resume step then exercises pure replay instead of a tail run.
+    """
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=REPO, env=cli_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while time.monotonic() < deadline:
+            if journaled_trials(journal) >= 1 or proc.poll() is not None:
+                break
+            time.sleep(0.01)
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait()
+    return journaled_trials(journal)
+
+
+def run_scenario(name: str, workdir: Path, trials: int,
+                 timeout: float) -> tuple[bool, str]:
+    jobs, faults = SCENARIOS[name]
+    baseline = workdir / "baseline.json"
+    resumed = workdir / "resumed.json"
+    journal = workdir / "journal.jsonl"
+    common = ["experiment", "fig5", "--trials", str(trials),
+              "--jobs", str(jobs)]
+    if faults:
+        common += ["--faults", faults]
+
+    run_cli([*common, "--trace-out", str(baseline)], timeout)
+    at_kill = interrupt_sweep(
+        [*common, "--resume", str(journal),
+         "--trace-out", str(workdir / "interrupted.json")],
+        journal, timeout)
+    run_cli([*common, "--resume", str(journal),
+             "--trace-out", str(resumed)], timeout)
+
+    identical = baseline.read_bytes() == resumed.read_bytes()
+    detail = (f"killed with {at_kill} trial(s) journaled; "
+              f"resumed trace {'==' if identical else '!='} baseline")
+    return identical, detail
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", choices=sorted(SCENARIOS),
+                        help="run a single scenario")
+    parser.add_argument("--trials", type=int, default=6,
+                        help="fig5 trials per platform (default 6)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-run wall-clock limit in seconds")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory for inspection")
+    args = parser.parse_args(argv)
+
+    names = [args.only] if args.only else sorted(SCENARIOS)
+    scratch = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    failed: list[str] = []
+    try:
+        for name in names:
+            workdir = scratch / name
+            workdir.mkdir()
+            ok, detail = run_scenario(name, workdir, args.trials,
+                                      args.timeout)
+            status = "ok" if ok else "FAIL"
+            print(f"{status:4s} {name}: {detail}")
+            if not ok:
+                failed.append(name)
+    finally:
+        if args.keep:
+            print(f"scratch kept at {scratch}")
+        else:
+            shutil.rmtree(scratch, ignore_errors=True)
+    if failed:
+        print(f"chaos smoke FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"chaos smoke passed ({len(names)} scenario(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

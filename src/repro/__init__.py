@@ -27,7 +27,7 @@ paper-vs-measured results on every figure.
 from repro.core.api import ConfBench
 from repro.core.client import ConfBenchClient
 from repro.core.config import GatewayConfig, PlatformEntry, default_config
-from repro.core.gateway import Gateway, InvocationRequest
+from repro.core.gateway import Gateway, GatewayStats, InvocationRequest
 from repro.core.results import InvocationRecord, RatioSummary
 from repro.errors import ConfBenchError
 from repro.tee.registry import available_platforms, platform_by_name
@@ -41,6 +41,7 @@ __all__ = [
     "PlatformEntry",
     "default_config",
     "Gateway",
+    "GatewayStats",
     "InvocationRequest",
     "InvocationRecord",
     "RatioSummary",

@@ -26,7 +26,7 @@ from repro.attest.crypto import RsaKeyPair, derived_keypair
 from repro.errors import AttestationError, CollateralTimeoutError
 from repro.guestos.context import ExecContext
 from repro.hw.nic import NicModel, wan_path
-from repro.sim.faults import FaultKind
+from repro.sim.faults import CircuitBreaker, FaultKind
 from repro.sim.rng import SimRng
 
 #: Virtual time a timed-out collateral fetch burns before the client
@@ -65,7 +65,17 @@ class QeIdentity:
 
 
 class IntelPcs:
-    """The PCS endpoint plus the Intel CA hierarchy behind it."""
+    """The PCS endpoint plus the Intel CA hierarchy behind it.
+
+    With a :class:`~repro.sim.faults.CircuitBreaker` attached, repeated
+    collateral timeouts trip the circuit: further fetches short-circuit
+    to the last good document for the endpoint (logged as
+    ``<endpoint>!cached``) instead of burning the full client-side
+    timeout budget, or fail immediately (``<endpoint>!open``) when no
+    collateral was ever cached.  Without a breaker the behaviour — and
+    the request log, cost accounting, and returned documents — is
+    byte-identical to the pre-breaker PCS.
+    """
 
     def __init__(
         self,
@@ -73,6 +83,7 @@ class IntelPcs:
         fmspc: str = "50806F000000",
         tcb_svn: str = "TDX_1.5.05.46.698",
         network: NicModel | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.rng = rng.child("intel-pcs")
         self.network = network if network is not None else wan_path()
@@ -89,6 +100,10 @@ class IntelPcs:
             "Intel TCB Signing", self._tcb_signing_key.public
         )
         self.request_log: list[str] = []
+        self.breaker = breaker
+        #: endpoint -> last successfully fetched document (served when
+        #: the circuit is open, so degraded trials keep attesting)
+        self.collateral_cache: dict[str, object] = {}
 
     # -- provisioning (no network: happens at manufacturing time) -------
 
@@ -114,38 +129,77 @@ class IntelPcs:
         cost = self.network.round_trip(payload_bytes, self.rng)
         ctx.charge_network(cost)
 
+    def _fetch(self, ctx: ExecContext, endpoint: str, payload_bytes: int,
+               build):
+        """One collateral GET, supervised by the optional breaker.
+
+        An open circuit short-circuits without any network charge:
+        the last good document for the endpoint is served when one
+        exists, otherwise the fetch fails immediately — far cheaper
+        than burning the full client-side timeout per attempt.
+        Successes refresh the cache and close the circuit; timeouts
+        feed the breaker's failure count.
+        """
+        if self.breaker is not None and not self.breaker.allow(
+                ctx.clock.now()):
+            cached = self.collateral_cache.get(endpoint)
+            if cached is not None:
+                self.request_log.append(endpoint + "!cached")
+                return cached
+            self.request_log.append(endpoint + "!open")
+            raise CollateralTimeoutError(
+                f"PCS {endpoint}: circuit open and no cached collateral")
+        try:
+            self._round_trip(ctx, endpoint, payload_bytes)
+        except CollateralTimeoutError:
+            if self.breaker is not None:
+                self.breaker.record_failure(ctx.clock.now())
+            raise
+        document = build()
+        if self.breaker is not None:
+            self.breaker.record_success(ctx.clock.now())
+        self.collateral_cache[endpoint] = document
+        return document
+
     def fetch_tcb_info(self, ctx: ExecContext) -> TcbInfo:
         """GET /tcb — signed TCB status for the platform."""
-        self._round_trip(ctx, "/sgx/certification/v4/tcb", 6_000)
-        unsigned = TcbInfo(
-            fmspc=self.fmspc, tcb_svn=self.tcb_svn, status="UpToDate", signature=b""
-        )
-        return TcbInfo(
-            fmspc=unsigned.fmspc,
-            tcb_svn=unsigned.tcb_svn,
-            status=unsigned.status,
-            signature=self._tcb_signing_key.sign(unsigned.payload()),
-        )
+
+        def build() -> TcbInfo:
+            unsigned = TcbInfo(fmspc=self.fmspc, tcb_svn=self.tcb_svn,
+                               status="UpToDate", signature=b"")
+            return TcbInfo(
+                fmspc=unsigned.fmspc,
+                tcb_svn=unsigned.tcb_svn,
+                status=unsigned.status,
+                signature=self._tcb_signing_key.sign(unsigned.payload()),
+            )
+
+        return self._fetch(ctx, "/sgx/certification/v4/tcb", 6_000, build)
 
     def fetch_qe_identity(self, ctx: ExecContext) -> QeIdentity:
         """GET /qe/identity — signed QE identity."""
-        self._round_trip(ctx, "/sgx/certification/v4/qe/identity", 3_000)
-        unsigned = QeIdentity(mrsigner="intel-qe-signer", isv_svn=2, signature=b"")
-        return QeIdentity(
-            mrsigner=unsigned.mrsigner,
-            isv_svn=unsigned.isv_svn,
-            signature=self._tcb_signing_key.sign(unsigned.payload()),
-        )
+
+        def build() -> QeIdentity:
+            unsigned = QeIdentity(mrsigner="intel-qe-signer", isv_svn=2,
+                                  signature=b"")
+            return QeIdentity(
+                mrsigner=unsigned.mrsigner,
+                isv_svn=unsigned.isv_svn,
+                signature=self._tcb_signing_key.sign(unsigned.payload()),
+            )
+
+        return self._fetch(ctx, "/sgx/certification/v4/qe/identity", 3_000,
+                           build)
 
     def fetch_root_crl(self, ctx: ExecContext) -> CertificateRevocationList:
         """GET /rootcacrl — the root CA's CRL."""
-        self._round_trip(ctx, "/sgx/certification/v4/rootcacrl", 1_500)
-        return self.root_ca.crl(now_ns=ctx.clock.now())
+        return self._fetch(ctx, "/sgx/certification/v4/rootcacrl", 1_500,
+                           lambda: self.root_ca.crl(now_ns=ctx.clock.now()))
 
     def fetch_pck_crl(self, ctx: ExecContext) -> CertificateRevocationList:
         """GET /pckcrl — the PCK platform CA's CRL."""
-        self._round_trip(ctx, "/sgx/certification/v4/pckcrl", 2_500)
-        return self.pck_ca.crl(now_ns=ctx.clock.now())
+        return self._fetch(ctx, "/sgx/certification/v4/pckcrl", 2_500,
+                           lambda: self.pck_ca.crl(now_ns=ctx.clock.now()))
 
     def verify_tcb_signature(self, tcb: TcbInfo) -> bool:
         """Check a TCB document against the TCB signing certificate."""

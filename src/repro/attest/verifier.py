@@ -38,7 +38,12 @@ from repro.errors import (
     TransientAttestationError,
 )
 from repro.guestos.context import ExecContext
-from repro.sim.faults import FaultContext, FaultKind, RetryPolicy
+from repro.sim.faults import (
+    CircuitBreaker,
+    FaultContext,
+    FaultKind,
+    RetryPolicy,
+)
 
 
 @dataclass
@@ -59,6 +64,7 @@ def _verify_with_retry(
     ctx: ExecContext,
     policy: RetryPolicy,
     backoff_charge: Callable[[float], float],
+    breaker: CircuitBreaker | None = None,
 ) -> VerificationResult:
     """Run ``verify_once`` under the retry policy, charging backoffs.
 
@@ -67,17 +73,29 @@ def _verify_with_retry(
     re-rolls its fault decision instead of deterministically failing
     again.  ``ctx.faults`` is temporarily swapped to the scoped child
     for the attempt's duration so the PCS sees the same stream.
+
+    With a ``breaker``, attempt outcomes feed its state machine, and
+    an open circuit *fails fast*: the attempt (and its backoff) is
+    skipped entirely, surfacing the last-resort
+    :class:`CollateralTimeoutError` immediately — which the trial
+    runner then degrades instead of retrying — so fault storms stop
+    costing a full retry ladder per trial.
     """
     base = getattr(ctx, "faults", None)
     attempt = 0
     spent = 0.0
     while True:
+        if breaker is not None and not breaker.allow(ctx.clock.now()):
+            raise CollateralTimeoutError(
+                "verification circuit open: failing fast without retries")
         scoped = base.scoped(f"verify/a{attempt}") if base is not None else None
         if base is not None:
             ctx.faults = scoped
         try:
-            return verify_once(scoped)
+            result = verify_once(scoped)
         except (TransientAttestationError, CollateralTimeoutError):
+            if breaker is not None:
+                breaker.record_failure(ctx.clock.now())
             if not policy.allows(attempt + 1, spent):
                 raise
             backoff = policy.backoff_ns(attempt)
@@ -89,6 +107,10 @@ def _verify_with_retry(
                 backoff_charge(backoff)
             spent += backoff
             attempt += 1
+        else:
+            if breaker is not None:
+                breaker.record_success(ctx.clock.now())
+            return result
         finally:
             if base is not None:
                 ctx.faults = base
@@ -98,7 +120,8 @@ class TdxVerifier:
     """Remote verifier for TDX quotes (collateral from the PCS)."""
 
     def __init__(self, pcs: IntelPcs, trusted_root: Certificate | None = None,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         self.pcs = pcs
         self.trusted_root = (
             trusted_root if trusted_root is not None else pcs.root_ca.certificate
@@ -106,6 +129,11 @@ class TdxVerifier:
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
+        # Attach the breaker to either the PCS (per-fetch granularity,
+        # cached-collateral fallback) or the verifier (per-attempt
+        # fail-fast) — not the same instance to both, or each timeout
+        # would be counted twice.
+        self.breaker = breaker
 
     def verify(self, quote: TdxQuote, ctx: ExecContext,
                expected_report_data: bytes | None = None) -> VerificationResult:
@@ -122,6 +150,7 @@ class TdxVerifier:
             ctx,
             self.retry_policy,
             ctx.charge_network,
+            breaker=self.breaker,
         )
 
     def _verify_once(self, quote: TdxQuote, ctx: ExecContext,
@@ -213,12 +242,16 @@ class SnpVerifier:
     """Verifier for SNP reports (three local steps, no network)."""
 
     def __init__(self, keys: AmdKeyInfrastructure,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         self.keys = keys
         self.trusted_ark = keys.ark.certificate
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
+        #: supervises the VCEK/device-cert path: repeated transient
+        #: failures trip it, and further verifies fail fast
+        self.breaker = breaker
 
     def verify(self, report: SnpAttestationReport, ctx: ExecContext,
                expected_report_data: bytes | None = None) -> VerificationResult:
@@ -233,6 +266,7 @@ class SnpVerifier:
             ctx,
             self.retry_policy,
             ctx.crypto,
+            breaker=self.breaker,
         )
 
     def _verify_once(self, report: SnpAttestationReport, ctx: ExecContext,

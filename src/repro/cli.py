@@ -90,6 +90,22 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--cache", metavar="FILE",
                             help="JSONL result cache keyed by trial spec "
                                  "hash; repeated runs skip finished trials")
+    experiment.add_argument("--resume", metavar="FILE",
+                            help="durable trial journal: completed trials "
+                                 "are appended as they finish and replayed "
+                                 "on re-run, so a killed sweep resumes "
+                                 "where it stopped (results bit-identical "
+                                 "to an uninterrupted run)")
+    experiment.add_argument("--trial-budget", type=float, default=None,
+                            metavar="NS",
+                            help="virtual-time watchdog: degrade any trial "
+                                 "whose total simulated time exceeds this "
+                                 "many nanoseconds")
+    experiment.add_argument("--watchdog", type=float, default=None,
+                            metavar="SECONDS",
+                            help="wall-clock heartbeat for --jobs N: "
+                                 "respawn the worker pool when no trial "
+                                 "completes within this many seconds")
     experiment.add_argument("--trace-out", metavar="FILE",
                             help="dump every trial's span trace as JSON")
     experiment.add_argument("--faults", metavar="SPEC",
@@ -276,6 +292,13 @@ def _cmd_experiment(args) -> int:
 
     _writable_file_arg(args, args.cache, "--cache")
     _writable_file_arg(args, args.trace_out, "--trace-out")
+    _writable_file_arg(args, args.resume, "--resume")
+    if args.trial_budget is not None and args.trial_budget <= 0:
+        args.subparser.error(
+            f"argument --trial-budget: must be > 0, got {args.trial_budget}")
+    if args.watchdog is not None and args.watchdog <= 0:
+        args.subparser.error(
+            f"argument --watchdog: must be > 0, got {args.watchdog}")
     faults = None
     if args.faults:
         from repro.errors import SimulationError
@@ -290,7 +313,18 @@ def _cmd_experiment(args) -> int:
         from repro.core.resultstore import SpecResultCache
 
         cache = SpecResultCache(args.cache)
-    runner = TrialRunner(jobs=args.jobs, cache=cache, faults=faults)
+    journal = None
+    if args.resume:
+        from repro.core.journal import TrialJournal
+
+        journal = TrialJournal(args.resume)
+        if len(journal):
+            print(f"resuming from {args.resume}: "
+                  f"{len(journal)} journaled trial(s)")
+    runner = TrialRunner(jobs=args.jobs, cache=cache, faults=faults,
+                         journal=journal,
+                         budget_ns=args.trial_budget or 0.0,
+                         watchdog_s=args.watchdog)
 
     def trials(default: int) -> int:
         return args.trials if args.trials is not None else default
@@ -368,6 +402,10 @@ def _cmd_experiment(args) -> int:
 
         count = dump_traces(runner.history, args.trace_out)
         print(f"wrote {count} trial traces -> {args.trace_out}")
+    if journal is not None:
+        print(f"journal: {journal.replayed} replayed, "
+              f"{journal.recorded} recorded -> {args.resume}")
+        journal.close()
     return status
 
 

@@ -30,7 +30,7 @@ The pieces map one-to-one onto the paper's architecture (Fig. 2):
 
 from repro.core.api import ConfBench
 from repro.core.config import GatewayConfig, PlatformEntry
-from repro.core.gateway import Gateway, InvocationRequest
+from repro.core.gateway import Gateway, GatewayStats, InvocationRequest
 from repro.core.host import Host
 from repro.core.launcher import FunctionLauncher
 from repro.core.monitor import PerfMonitor, PerfReport
@@ -51,6 +51,7 @@ __all__ = [
     "GatewayConfig",
     "PlatformEntry",
     "Gateway",
+    "GatewayStats",
     "InvocationRequest",
     "Host",
     "FunctionLauncher",

@@ -29,6 +29,33 @@ from repro.tee.registry import platform_by_name
 
 
 @dataclass
+class GatewayStats:
+    """Supervision counters the gateway keeps across invocations.
+
+    Every requested trial lands in exactly one of the three outcome
+    buckets — completed, degraded, or shed — so
+    ``trials_requested == trials_completed + trials_degraded +
+    trials_shed`` always holds.
+    """
+
+    invocations: int = 0
+    trials_requested: int = 0
+    trials_completed: int = 0
+    trials_degraded: int = 0
+    trials_shed: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-able form (what GET /stats would return)."""
+        return {
+            "invocations": self.invocations,
+            "trials_requested": self.trials_requested,
+            "trials_completed": self.trials_completed,
+            "trials_degraded": self.trials_degraded,
+            "trials_shed": self.trials_shed,
+        }
+
+
+@dataclass
 class InvocationRequest:
     """What a user submits."""
 
@@ -45,13 +72,23 @@ class Gateway:
 
     def __init__(self, config: GatewayConfig | None = None,
                  runner: TrialRunner | None = None,
-                 faults: "FaultPlan | str | None" = None) -> None:
+                 faults: "FaultPlan | str | None" = None,
+                 max_pending: int | None = None) -> None:
         self.config = config if config is not None else default_config()
         # Gateway trials run against long-lived pool VMs (stateful),
         # so they go through the runner's in-process trial loop rather
         # than the spec-parallel path.
         self.runner = runner if runner is not None else TrialRunner()
         self.faults = FaultPlan.parse(faults) if faults is not None else None
+        if max_pending is not None and max_pending < 1:
+            raise GatewayError(
+                f"max_pending must be >= 1, got {max_pending}")
+        #: admission-control bound: at most this many trials of one
+        #: invocation are admitted to the trial queue; overflow trials
+        #: are *shed* (returned as zero-attempt records) instead of
+        #: queued without bound.  None = admit everything.
+        self.max_pending = max_pending
+        self.stats = GatewayStats()
         self.store = FunctionStore()
         self.hosts: dict[str, Host] = {}
         self.pools: dict[tuple[str, bool], TeePool] = {}
@@ -155,7 +192,9 @@ class Gateway:
                 transport_ns=self.dispatch_model.round_trip_ns(platform),
             )
 
-        return self.runner.run_trials(trials, one_trial)
+        admitted = self._admit(one_trial, pool,
+                               request.function, request.language)
+        return self._account(trials, self.runner.run_trials(trials, admitted))
 
     def invoke_native(self, name: str, fn, platform: str, secure: bool,
                       trials: int = 1, *fn_args,
@@ -181,7 +220,66 @@ class Gateway:
                 run, function=name, language=None, perf=dict(report.events),
             )
 
-        return self.runner.run_trials(trials, one_trial)
+        admitted = self._admit(one_trial, pool, name, None)
+        return self._account(trials, self.runner.run_trials(trials, admitted))
+
+    def _admit(self, one_trial, pool: TeePool, function: str,
+               language: str | None):
+        """Wrap a trial function with the admission-control bound.
+
+        The runner's trial loop is the gateway's in-flight queue in
+        this simulation; with :attr:`max_pending` set, only that many
+        trials of an invocation are admitted to it.  Overflow trials
+        are shed deterministically — the highest trial indices, the
+        ones that would sit deepest in the queue — so a bounded queue
+        never silently drops a requested trial: it returns a marked
+        zero-attempt record instead.
+        """
+        if self.max_pending is None:
+            return one_trial
+
+        def admitted(trial: int) -> InvocationRecord:
+            if trial >= self.max_pending:
+                return self._shed_record(pool, function, language, trial)
+            return one_trial(trial)
+
+        return admitted
+
+    def _account(self, trials: int,
+                 records: list[InvocationRecord]) -> list[InvocationRecord]:
+        """Fold one invocation's outcome into :attr:`stats`."""
+        self.stats.invocations += 1
+        self.stats.trials_requested += trials
+        for record in records:
+            if record.shed:
+                self.stats.trials_shed += 1
+            elif record.degraded:
+                self.stats.trials_degraded += 1
+            else:
+                self.stats.trials_completed += 1
+        return records
+
+    def _shed_record(self, pool: TeePool, function: str,
+                     language: str | None, trial: int) -> InvocationRecord:
+        """The record an over-admission trial is shed as.
+
+        ``attempts`` is 0 — unlike a degraded record, nothing ran —
+        and ``shed`` marks the refusal so callers can distinguish
+        load-shedding from fault exhaustion.
+        """
+        return InvocationRecord(
+            function=function,
+            language=language,
+            platform=pool.platform,
+            secure=pool.secure,
+            trial=trial,
+            elapsed_ns=0.0,
+            output=None,
+            perf={},
+            attempts=0,
+            degraded=True,
+            shed=True,
+        )
 
     def _degraded_record(self, pool: TeePool, function: str,
                          language: str | None, trial: int) -> InvocationRecord:

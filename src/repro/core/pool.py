@@ -70,6 +70,9 @@ class TeePool:
     respawn: "object | None" = None
     #: optional :class:`FaultPlan` injecting worker failures
     faults: FaultPlan | None = None
+    #: supervision counters: dead workers removed / replacements added
+    evictions: int = 0
+    respawns: int = 0
 
     def add_worker(self, vm: Vm, port: int) -> Worker:
         """Register a booted VM as a pool worker."""
@@ -165,6 +168,7 @@ class TeePool:
                 if self.respawn is not None:
                     replacement = self.respawn(worker)
                     if replacement is not None:
+                        self.respawns += 1
                         wasted += replacement.vm.boot_time_ns
                 failures.add(type(exc).__name__, wasted_ns=wasted,
                              backoff_ns=self.retry_policy.backoff_ns(attempt))
@@ -201,6 +205,7 @@ class TeePool:
         except ValueError:
             return   # already evicted by a concurrent path
         del self.workers[index]
+        self.evictions += 1
         if not self.workers:
             self._cursor = 0
             return

@@ -36,6 +36,9 @@ class InvocationRecord:
     attempts: int = 1
     faults_injected: tuple[str, ...] = ()
     degraded: bool = False
+    #: True when the gateway's admission control refused the trial
+    #: before it ran (``attempts`` stays 0: nothing was attempted)
+    shed: bool = False
 
     @classmethod
     def from_run(cls, run_result, function: str,
@@ -77,6 +80,8 @@ class InvocationRecord:
             payload["attempts"] = self.attempts
             payload["faults_injected"] = list(self.faults_injected)
             payload["degraded"] = self.degraded
+        if self.shed:
+            payload["shed"] = True
         return payload
 
 

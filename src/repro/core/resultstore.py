@@ -16,12 +16,39 @@ completed trials and replays their archived results.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.results import InvocationRecord
 from repro.errors import GatewayError
 from repro.version import __version__
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Replace ``path``'s contents crash-safely.
+
+    The text goes to a temporary file in the same directory (so the
+    rename cannot cross filesystems), is fsynced, and then atomically
+    renamed over the target — a reader never sees a half-written file,
+    and a crash mid-write leaves the previous contents intact.
+    """
+    handle_fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -54,27 +81,47 @@ class ArchivedRun:
 
 
 class ResultStore:
-    """JSON-lines persistence for invocation records."""
+    """JSON-lines persistence for invocation records.
+
+    Writes are crash-safe (tempfile + atomic rename: a crash mid-save
+    never corrupts previously saved runs) and loads are tolerant:
+    corrupt or truncated lines — the residue of a crash predating the
+    atomic-write scheme, or of external tampering — are skipped with a
+    warning instead of making the whole archive unreadable.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        #: human-readable notes about lines skipped by the last load
+        self.warnings: list[str] = []
 
     def save(self, label: str, seed: int,
              records: list[InvocationRecord]) -> None:
         """Append one run (header line + one line per record)."""
         if not records:
             raise GatewayError("refusing to save an empty run")
-        with self.path.open("a", encoding="utf-8") as handle:
-            header = {"kind": "run", "label": label, "seed": seed,
-                      "version": __version__, "records": len(records)}
-            handle.write(json.dumps(header) + "\n")
-            for record in records:
-                handle.write(json.dumps(
-                    {"kind": "record", **record.to_dict()}
-                ) + "\n")
+        existing = (self.path.read_text(encoding="utf-8")
+                    if self.path.exists() else "")
+        header = {"kind": "run", "label": label, "seed": seed,
+                  "version": __version__, "records": len(records)}
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps({"kind": "record", **record.to_dict()})
+                     for record in records)
+        _atomic_write(self.path, existing + "\n".join(lines) + "\n")
+
+    def _skip(self, line_number: int, reason: str) -> None:
+        message = f"{self.path}:{line_number}: {reason} (line skipped)"
+        self.warnings.append(message)
+        warnings.warn(message, stacklevel=3)
 
     def load(self) -> list[ArchivedRun]:
-        """All archived runs, in file order."""
+        """All archived runs, in file order.
+
+        Unreadable lines are skipped (with a warning recorded in
+        :attr:`warnings`): one corrupt line costs one line of data,
+        not the whole archive.
+        """
+        self.warnings = []
         if not self.path.exists():
             return []
         runs: list[ArchivedRun] = []
@@ -86,28 +133,33 @@ class ResultStore:
                 try:
                     payload = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    raise GatewayError(
-                        f"{self.path}:{line_number}: bad JSON: {exc}"
-                    ) from exc
+                    self._skip(line_number, f"bad JSON: {exc}")
+                    continue
+                if not isinstance(payload, dict):
+                    self._skip(line_number, "not a JSON object")
+                    continue
                 if payload.get("kind") == "run":
                     runs.append(ArchivedRun(
-                        label=payload["label"],
-                        seed=payload["seed"],
+                        label=payload.get("label", "?"),
+                        seed=payload.get("seed", 0),
                         version=payload.get("version", "?"),
                         records=[],
                     ))
                 elif payload.get("kind") == "record":
                     if not runs:
-                        raise GatewayError(
-                            f"{self.path}:{line_number}: record before any run"
-                        )
+                        self._skip(line_number, "record before any run")
+                        continue
                     payload.pop("kind")
-                    runs[-1].records.append(InvocationRecord(**payload))
+                    try:
+                        record = InvocationRecord(**payload)
+                    except TypeError as exc:
+                        self._skip(line_number, f"bad record: {exc}")
+                        continue
+                    runs[-1].records.append(record)
                 else:
-                    raise GatewayError(
-                        f"{self.path}:{line_number}: unknown kind "
-                        f"{payload.get('kind')!r}"
-                    )
+                    self._skip(
+                        line_number,
+                        f"unknown kind {payload.get('kind')!r}")
         return runs
 
     def run(self, label: str) -> ArchivedRun:
@@ -126,6 +178,11 @@ class SpecResultCache:
     :class:`repro.core.runner.TrialRunner` to make experiment re-runs
     incremental: a trial whose spec hash is already cached is not
     executed again.
+
+    Loading tolerates corrupt or truncated lines (a crashed writer's
+    torn tail loses that one entry, not the cache), and :meth:`put`
+    rewrites the file atomically so the on-disk cache is never left
+    half-written.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -134,8 +191,13 @@ class SpecResultCache:
             raise GatewayError(
                 f"cache directory does not exist: {self.path.parent}")
         self._entries: dict[str, dict] = {}
+        #: hash -> serialised line, kept in sync with ``_entries`` so
+        #: :meth:`put` rewrites without re-dumping every payload
+        self._lines: dict[str, str] = {}
         self.hits = 0
         self.misses = 0
+        #: human-readable notes about lines skipped while loading
+        self.warnings: list[str] = []
         if self.path.exists():
             with self.path.open(encoding="utf-8") as handle:
                 for line_number, line in enumerate(handle, start=1):
@@ -145,10 +207,20 @@ class SpecResultCache:
                     try:
                         payload = json.loads(line)
                     except json.JSONDecodeError as exc:
-                        raise GatewayError(
-                            f"{self.path}:{line_number}: bad JSON: {exc}"
-                        ) from exc
+                        self._skip(line_number, f"bad JSON: {exc}")
+                        continue
+                    if (not isinstance(payload, dict)
+                            or not isinstance(payload.get("hash"), str)
+                            or not isinstance(payload.get("result"), dict)):
+                        self._skip(line_number, "not a cache entry")
+                        continue
                     self._entries[payload["hash"]] = payload["result"]
+                    self._lines[payload["hash"]] = line
+
+    def _skip(self, line_number: int, reason: str) -> None:
+        message = f"{self.path}:{line_number}: {reason} (entry skipped)"
+        self.warnings.append(message)
+        warnings.warn(message, stacklevel=3)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -165,13 +237,20 @@ class SpecResultCache:
         return RunResult.from_dict(payload)
 
     def put(self, spec, result) -> None:
-        """Archive ``result`` under ``spec``'s content hash."""
+        """Archive ``result`` under ``spec``'s content hash.
+
+        The whole cache is rewritten through a tempfile + atomic
+        rename, so a crash mid-put leaves the previous cache intact
+        (and compacts any duplicate hashes a pre-crash append left
+        behind).  Each payload is serialised once — the rewrite reuses
+        the cached lines of unchanged entries.
+        """
         spec_hash = spec.content_hash()
         payload = result.to_dict()
         self._entries[spec_hash] = payload
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps({"hash": spec_hash, "result": payload})
-                         + "\n")
+        self._lines[spec_hash] = json.dumps(
+            {"hash": spec_hash, "result": payload})
+        _atomic_write(self.path, "\n".join(self._lines.values()) + "\n")
 
 
 def compare_runs(before: ArchivedRun,

@@ -30,13 +30,20 @@ kinds.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Any, Callable, Iterator, Protocol, Sequence
 
-from repro.errors import AttestationError, GatewayError, VmCrashError
+from repro.errors import (
+    AttestationError,
+    GatewayError,
+    TrialBudgetError,
+    VmCrashError,
+)
 from repro.hw.perfcounters import PerfCounters
 from repro.sim.faults import (
     DEFAULT_RETRY_POLICY,
@@ -80,21 +87,26 @@ class TrialSpec:
     params_json: str = "{}"     # canonical JSON of body parameters
     contention: float = 1.0     # host oversubscription factor
     faults: str = ""            # canonical fault-plan spec; "" = none
+    budget_ns: float = 0.0      # virtual-time watchdog deadline; 0 = none
 
     @classmethod
     def make(cls, kind: str, platform: str, secure: bool, workload: str,
              trial: int, seed: int, runtime: str | None = None,
              params: dict[str, Any] | None = None,
-             contention: float = 1.0) -> "TrialSpec":
+             contention: float = 1.0,
+             budget_ns: float = 0.0) -> "TrialSpec":
         """Build a spec, canonicalising ``params`` into JSON."""
         if trial < 0:
             raise RunnerError(f"trial index must be >= 0, got {trial}")
+        if budget_ns < 0:
+            raise RunnerError(f"budget must be >= 0, got {budget_ns}")
         return cls(
             kind=kind, platform=platform, secure=secure, workload=workload,
             runtime=runtime, trial=trial, seed=seed,
             params_json=json.dumps(params or {}, sort_keys=True,
                                    separators=(",", ":")),
             contention=contention,
+            budget_ns=budget_ns,
         )
 
     @property
@@ -155,10 +167,13 @@ class TrialSpec:
             "params": self.params_json,
             "contention": self.contention,
         }
-        # only faulted specs hash the plan, so every pre-existing cache
-        # entry stays addressable under its original digest
+        # only non-default fields enter the digest, so every
+        # pre-existing cache/journal entry stays addressable under its
+        # original hash
         if self.faults:
             blob["faults"] = self.faults
+        if self.budget_ns:
+            blob["budget_ns"] = self.budget_ns
         encoded = json.dumps(blob, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(encoded.encode()).hexdigest()
 
@@ -197,6 +212,22 @@ class TrialPlan:
             replace(member, faults=canonical) for member in self.specs
         ))
 
+    def with_budget(self, budget_ns: float) -> "TrialPlan":
+        """A copy with a virtual-time watchdog deadline on every spec.
+
+        A trial whose attempt exceeds ``budget_ns`` of virtual time is
+        treated as stuck and killed at the deadline (see
+        :func:`execute_trial`).  Like fault plans, the budget enters
+        the content hash only when set, so unbudgeted hashes are
+        untouched.
+        """
+        if budget_ns < 0:
+            raise RunnerError(f"budget must be >= 0, got {budget_ns}")
+        return TrialPlan(specs=tuple(
+            replace(member, budget_ns=float(budget_ns))
+            for member in self.specs
+        ))
+
     @classmethod
     def matrix(
         cls,
@@ -209,6 +240,7 @@ class TrialPlan:
         secure_modes: Sequence[bool] = (True, False),
         params: dict[str, Any] | None = None,
         contention: float = 1.0,
+        budget_ns: float = 0.0,
     ) -> "TrialPlan":
         """The standard experiment sweep.
 
@@ -222,7 +254,8 @@ class TrialPlan:
         specs = tuple(
             TrialSpec.make(kind=kind, platform=platform, secure=secure,
                            workload=workload, runtime=runtime, trial=trial,
-                           seed=seed, params=params, contention=contention)
+                           seed=seed, params=params, contention=contention,
+                           budget_ns=budget_ns)
             for platform in platforms
             for runtime in runtimes
             for workload in workloads
@@ -367,6 +400,7 @@ def _attestation_body(spec: TrialSpec) -> Callable:
         generate_tdx_quote,
     )
     from repro.errors import AttestationError
+    from repro.sim.faults import CircuitBreaker
     from repro.tee.sevsnp import AmdSecureProcessor
     from repro.tee.tdx import TdxModule
 
@@ -386,8 +420,16 @@ def _attestation_body(spec: TrialSpec) -> Callable:
         infra_rng = SimRng(infra_seed, f"attest-infra/{flavor}")
         nonce = ctx.rng.child("nonce").bytes(16)
         trace = ctx.trace
+        # One breaker per trial, seeded from the trial's own stream so
+        # its cooldown jitter is a pure function of the spec.  Scoping
+        # it to the trial (not the shared infrastructure) preserves the
+        # purity contract: no state leaks between trials.
+        breaker_seed = derive_seed(ctx.rng.seed, f"{ctx.rng.label}/breaker")
         if flavor == "tdx-attestation":
-            pcs = IntelPcs(infra_rng)
+            pcs = IntelPcs(
+                infra_rng,
+                breaker=CircuitBreaker("pcs", seed=breaker_seed, trace=trace),
+            )
             qe = QuotingEnclave(pcs, infra_rng)
             module = TdxModule()
             with trace.span("attest", ctx):
@@ -401,8 +443,11 @@ def _attestation_body(spec: TrialSpec) -> Callable:
             with trace.span("attest", ctx):
                 evidence = generate_snp_report(amd_sp, keys, ctx, nonce)
             with trace.span("check", ctx):
-                verdict = SnpVerifier(keys).verify(
-                    evidence, ctx, expected_report_data=nonce)
+                verdict = SnpVerifier(
+                    keys,
+                    breaker=CircuitBreaker(
+                        "vcek", seed=breaker_seed, trace=trace),
+                ).verify(evidence, ctx, expected_report_data=nonce)
         if not verdict.accepted:
             raise AttestationError(
                 f"{flavor}: verification unexpectedly rejected")
@@ -432,10 +477,24 @@ def execute_trial(spec: TrialSpec) -> RunResult:
     STARTUP bucket and replayed into its trace as ``failure``/``retry``
     spans.  A trial that exhausts its attempts returns a *degraded*
     result rather than raising, so no trial is ever silently dropped.
+
+    With ``budget_ns`` set on the spec, an attempt whose total virtual
+    time exceeds the budget is treated as stuck and killed at the
+    deadline (:class:`~repro.errors.TrialBudgetError`): the attempt's
+    output is discarded and exactly ``budget_ns`` of waste is charged.
+    Without faults the kill degrades the trial immediately — a
+    deterministic re-run would bust the same budget — while under
+    faults it counts as one failed attempt, since the next attempt
+    re-rolls its fault draws and may stay under the deadline.
     """
     plan = spec.fault_plan()
     if plan is None or not plan.active:
-        return _attempt_trial(spec, None, FailureLog())
+        result = _attempt_trial(spec, None, FailureLog())
+        if not _over_budget(spec, result):
+            return result
+        failures = FailureLog()
+        failures.add(TrialBudgetError.__name__, wasted_ns=spec.budget_ns)
+        return _degraded_result(spec, failures, [], 1)
 
     policy = DEFAULT_RETRY_POLICY
     label = spec._stream_label()
@@ -446,7 +505,12 @@ def execute_trial(spec: TrialSpec) -> RunResult:
         faults = FaultContext(plan, f"{label}/a{attempt}")
         try:
             result = _attempt_trial(spec, faults, failures)
-        except (VmCrashError, AttestationError) as exc:
+            if _over_budget(spec, result):
+                raise TrialBudgetError(
+                    f"trial exceeded its {spec.budget_ns:g} ns budget",
+                    wasted_ns=spec.budget_ns,
+                )
+        except (VmCrashError, AttestationError, TrialBudgetError) as exc:
             injected.extend(faults.injected)
             final = not policy.allows(attempt + 1, failures.surcharge_ns)
             failures.add(
@@ -466,6 +530,11 @@ def execute_trial(spec: TrialSpec) -> RunResult:
             result.faults_injected = tuple(injected)
         return result
     return _degraded_result(spec, failures, injected, attempt)
+
+
+def _over_budget(spec: TrialSpec, result: RunResult) -> bool:
+    """Whether an attempt blew the spec's virtual-time budget."""
+    return spec.budget_ns > 0.0 and result.total_ns > spec.budget_ns
 
 
 def _attempt_trial(spec: TrialSpec, faults: FaultContext | None,
@@ -531,8 +600,34 @@ def _degraded_result(spec: TrialSpec, failures: FailureLog,
 # Executors
 # ---------------------------------------------------------------------------
 
+def _accepts_keyword(mapper: Callable, name: str) -> bool:
+    """Whether an executor's ``map`` takes the named keyword argument.
+
+    Custom executors predating the supervision layer implement the
+    bare two-argument protocol; the runner only passes ``on_result`` /
+    ``lookup`` to executors that declare them (or take ``**kwargs``).
+    """
+    try:
+        parameters = inspect.signature(mapper).parameters
+    except (TypeError, ValueError):   # builtins, exotic callables
+        return False
+    if name in parameters:
+        return True
+    return any(parameter.kind is inspect.Parameter.VAR_KEYWORD
+               for parameter in parameters.values())
+
+
 class TrialExecutor(Protocol):
-    """Maps the trial function over specs, preserving order."""
+    """Maps the trial function over specs, preserving order.
+
+    Executors *may* additionally accept ``on_result`` (a callback
+    invoked as ``on_result(position, result)`` the moment each trial
+    completes — the runner journals through it) and ``lookup`` (a
+    ``spec -> RunResult | None`` callable consulted when re-deriving
+    surviving work after a worker death); the runner inspects the
+    signature and only passes what the executor supports, so minimal
+    two-argument executors keep working.
+    """
 
     def map(self, fn: Callable[[TrialSpec], RunResult],
             specs: Sequence[TrialSpec]) -> list[RunResult]:
@@ -545,35 +640,186 @@ class SerialTrialExecutor:
     jobs = 1
 
     def map(self, fn: Callable[[TrialSpec], RunResult],
-            specs: Sequence[TrialSpec]) -> list[RunResult]:
-        return [fn(spec) for spec in specs]
+            specs: Sequence[TrialSpec],
+            on_result: Callable[[int, RunResult], None] | None = None,
+            ) -> list[RunResult]:
+        results: list[RunResult] = []
+        for position, spec in enumerate(specs):
+            result = fn(spec)
+            results.append(result)
+            if on_result is not None:
+                on_result(position, result)
+        return results
 
 
 class ParallelTrialExecutor:
-    """Fans trials out to a process pool.
+    """Fans trials out to a supervised process pool.
 
     Independent deterministic trials are embarrassingly parallel;
     ``jobs`` caps the worker count.  Results come back in spec order,
     and because :func:`execute_trial` is a pure function of the spec,
     the output is bit-identical to the serial executor's.
+
+    The pool is *supervised*: a worker that dies (``SIGKILL``, OOM —
+    surfacing as :class:`BrokenProcessPool`) or goes silent for a full
+    ``heartbeat_s`` wall-clock interval does not abort the sweep.
+    Instead the pool is torn down (stuck workers are killed), a fresh
+    pool is spawned, and the surviving work list is re-derived —
+    results already delivered are kept, trials the optional ``lookup``
+    (the runner's journal) already holds are replayed, and only the
+    rest are resubmitted.  After ``max_respawns`` pool replacements the
+    executor gives up with a :class:`RunnerError` naming the pending
+    trials, so a poisoned spec cannot respawn-loop forever.
     """
 
-    def __init__(self, jobs: int, mp_context=None) -> None:
+    def __init__(self, jobs: int, mp_context=None,
+                 heartbeat_s: float | None = None,
+                 max_respawns: int = 2) -> None:
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise RunnerError(f"heartbeat must be > 0, got {heartbeat_s}")
+        if max_respawns < 0:
+            raise RunnerError(
+                f"max_respawns must be >= 0, got {max_respawns}")
         self.jobs = jobs
+        self.heartbeat_s = heartbeat_s
+        self.max_respawns = max_respawns
         self._mp_context = mp_context
 
     def map(self, fn: Callable[[TrialSpec], RunResult],
-            specs: Sequence[TrialSpec]) -> list[RunResult]:
+            specs: Sequence[TrialSpec],
+            on_result: Callable[[int, RunResult], None] | None = None,
+            lookup: Callable[[TrialSpec], RunResult | None] | None = None,
+            ) -> list[RunResult]:
         if not specs:
             return []
         if self.jobs == 1 or len(specs) == 1:
-            return SerialTrialExecutor().map(fn, specs)
-        chunksize = max(1, len(specs) // (self.jobs * 4))
-        with ProcessPoolExecutor(max_workers=self.jobs,
-                                 mp_context=self._mp_context) as pool:
-            return list(pool.map(fn, specs, chunksize=chunksize))
+            return SerialTrialExecutor().map(fn, specs, on_result=on_result)
+        results: dict[int, RunResult] = {}
+        respawns = 0
+        pool = self._new_pool()
+        try:
+            futures = self._submit(pool, fn, specs, range(len(specs)),
+                                   results, lookup)
+            while futures:
+                done, _ = wait(set(futures), timeout=self.heartbeat_s,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    # watchdog: nothing finished within a heartbeat —
+                    # a worker is hung (stuck, not dead), so the pool
+                    # cannot make progress on its own
+                    pending = sorted(futures.values())
+                    respawns = self._account_respawn(
+                        respawns, pending, specs,
+                        reason="no worker heartbeat "
+                               f"within {self.heartbeat_s:g}s")
+                    pool = self._replace_pool(pool, kill=True)
+                    futures = self._submit(pool, fn, specs, pending,
+                                           results, lookup)
+                    continue
+                broken: BrokenProcessPool | None = None
+                lost: list[int] = []
+                for future in done:
+                    position = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        lost.append(position)
+                        continue
+                    results[position] = result
+                    if on_result is not None:
+                        on_result(position, result)
+                if broken is not None:
+                    # a worker died outright; every in-flight future
+                    # was lost with the pool, so re-derive the
+                    # surviving work list and carry on
+                    pending = sorted({*lost, *futures.values()})
+                    futures.clear()
+                    respawns = self._account_respawn(
+                        respawns, pending, specs,
+                        reason="a worker process died", cause=broken)
+                    pool = self._replace_pool(pool, kill=False)
+                    futures = self._submit(pool, fn, specs, pending,
+                                           results, lookup)
+        finally:
+            self._abandon_pool(pool)
+        return [results[position] for position in range(len(specs))]
+
+    # -- supervision internals -----------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs,
+                                   mp_context=self._mp_context)
+
+    def _submit(self, pool: ProcessPoolExecutor, fn, specs,
+                positions, results, lookup) -> dict:
+        """Submit the given spec positions, consulting ``lookup`` first.
+
+        Positions whose result is already known (delivered before a
+        pool death, or found in the journal via ``lookup``) are not
+        resubmitted — that is how a respawn "re-derives the surviving
+        work list" instead of redoing the whole sweep.
+        """
+        futures: dict = {}
+        for position in positions:
+            if position in results:
+                continue
+            if lookup is not None:
+                survived = lookup(specs[position])
+                if survived is not None:
+                    results[position] = survived
+                    continue
+            futures[pool.submit(fn, specs[position])] = position
+        return futures
+
+    def _account_respawn(self, respawns: int, pending, specs,
+                         reason: str, cause: Exception | None = None) -> int:
+        """Count one pool respawn, or give up past ``max_respawns``.
+
+        The error names the trials that were still pending — the ones
+        a dead worker could have been running — rather than a bare
+        ``concurrent.futures`` traceback.
+        """
+        if respawns >= self.max_respawns:
+            names = ", ".join(dict.fromkeys(
+                f"{specs[position].run_name}#{specs[position].trial}"
+                for position in pending))
+            raise RunnerError(
+                f"parallel executor gave up after {respawns} pool "
+                f"respawn(s) ({reason}); pending trials: {names}"
+            ) from cause
+        return respawns + 1
+
+    def _replace_pool(self, pool: ProcessPoolExecutor,
+                      kill: bool) -> ProcessPoolExecutor:
+        """Tear the old pool down and spawn a fresh one.
+
+        ``kill=True`` reaps hung workers first — a stuck worker never
+        returns, and leaving it alive would wedge interpreter exit.
+        """
+        if kill:
+            self._kill_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+        return self._new_pool()
+
+    def _abandon_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Final teardown on every exit from ``map``.
+
+        Workers are killed unconditionally: on the success path they
+        are idle (nothing is lost), and on the give-up path a hung
+        worker left alive would block interpreter exit when
+        ``concurrent.futures`` joins its management threads.
+        """
+        self._kill_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.kill()
 
 
 # ---------------------------------------------------------------------------
@@ -598,21 +844,45 @@ class TrialRunner:
         Optional fault plan (a spec string or :class:`FaultPlan`)
         applied to every plan this runner executes; see
         :meth:`TrialPlan.with_faults`.
+    journal:
+        Optional durable trial journal (see
+        :class:`repro.core.journal.TrialJournal`).  Journaled trials
+        are replayed instead of re-executed, and every freshly
+        completed trial is journaled *the moment it finishes* — not
+        when the sweep ends — so a killed sweep resumes from its last
+        completed trial.  Replay is bit-identical to an uninterrupted
+        run because every trial is a pure function of its spec.
+    budget_ns:
+        Optional per-trial virtual-time watchdog deadline applied to
+        every plan (see :meth:`TrialPlan.with_budget`).
+    watchdog_s:
+        Optional *wall-clock* heartbeat for the parallel executor:
+        when no trial completes for this many real seconds, the worker
+        pool is presumed stuck and respawned.  Only meaningful with
+        ``jobs > 1``.
     """
 
     def __init__(self, jobs: int = 1,
                  executor: TrialExecutor | None = None,
                  cache=None,
-                 faults: "str | FaultPlan | None" = None) -> None:
+                 faults: "str | FaultPlan | None" = None,
+                 journal=None,
+                 budget_ns: float | None = None,
+                 watchdog_s: float | None = None) -> None:
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
+        if budget_ns is not None and budget_ns < 0:
+            raise RunnerError(f"budget must be >= 0, got {budget_ns}")
         if executor is not None:
             self.executor = executor
         elif jobs > 1:
-            self.executor = ParallelTrialExecutor(jobs)
+            self.executor = ParallelTrialExecutor(jobs,
+                                                  heartbeat_s=watchdog_s)
         else:
             self.executor = SerialTrialExecutor()
         self.cache = cache
+        self.journal = journal
+        self.budget_ns = budget_ns
         self.faults = (
             FaultPlan.parse(faults).to_spec() if faults is not None else None
         )
@@ -626,24 +896,61 @@ class TrialRunner:
         """Execute every spec in the plan; results in spec order."""
         if self.faults:
             plan = plan.with_faults(self.faults)
+        if self.budget_ns:
+            plan = plan.with_budget(self.budget_ns)
         results: dict[int, RunResult] = {}
         pending: list[tuple[int, TrialSpec]] = []
         for index, spec in enumerate(plan):
-            cached = self.cache.get(spec) if self.cache is not None else None
-            if cached is not None:
-                results[index] = cached
+            archived = (self.journal.get(spec)
+                        if self.journal is not None else None)
+            if archived is None and self.cache is not None:
+                archived = self.cache.get(spec)
+            if archived is not None:
+                results[index] = archived
             else:
                 pending.append((index, spec))
         if pending:
-            fresh = self.executor.map(execute_trial,
-                                      [spec for _, spec in pending])
-            for (index, spec), result in zip(pending, fresh):
-                if self.cache is not None:
-                    self.cache.put(spec, result)
-                results[index] = result
+            self._dispatch(pending, results)
         ordered = [results[index] for index in range(len(plan))]
         self.history.append((plan, ordered))
         return ordered
+
+    def _dispatch(self, pending: list[tuple[int, TrialSpec]],
+                  results: dict[int, RunResult]) -> None:
+        """Run the pending specs, persisting each result as it lands.
+
+        Persistence rides the executor's ``on_result`` callback (when
+        supported) so a sweep killed mid-run keeps everything already
+        finished; executors with a plain two-argument ``map`` are
+        persisted after the fact instead.
+        """
+        specs = [spec for _, spec in pending]
+        persisted: set[int] = set()
+
+        def on_result(position: int, result: RunResult) -> None:
+            index, spec = pending[position]
+            self._persist(spec, result)
+            results[index] = result
+            persisted.add(position)
+
+        mapper = self.executor.map
+        kwargs: dict[str, Any] = {}
+        if _accepts_keyword(mapper, "on_result"):
+            kwargs["on_result"] = on_result
+        if self.journal is not None and _accepts_keyword(mapper, "lookup"):
+            kwargs["lookup"] = self.journal.get
+        fresh = mapper(execute_trial, specs, **kwargs)
+        for position, ((index, spec), result) in enumerate(
+                zip(pending, fresh)):
+            if position not in persisted:
+                self._persist(spec, result)
+                results[index] = result
+
+    def _persist(self, spec: TrialSpec, result: RunResult) -> None:
+        if self.cache is not None:
+            self.cache.put(spec, result)
+        if self.journal is not None:
+            self.journal.put(spec, result)
 
     def run_cells(self, plan: TrialPlan) -> dict[tuple, list[RunResult]]:
         """Execute a plan and group results by spec ``cell``.

@@ -70,6 +70,19 @@ class VmCrashError(VmError):
         self.wasted_ns = wasted_ns
 
 
+class TrialBudgetError(VmError):
+    """The watchdog killed a trial that exceeded its virtual-time budget.
+
+    ``wasted_ns`` is the budget itself: the watchdog fires *at* the
+    deadline, so that is exactly the virtual time the doomed attempt
+    burned before being put down.
+    """
+
+    def __init__(self, message: str, wasted_ns: float = 0.0) -> None:
+        super().__init__(message)
+        self.wasted_ns = wasted_ns
+
+
 class AttestationError(ConfBenchError):
     """Attestation protocol failures."""
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
+from repro.core.journal import TrialJournal
 from repro.core.launcher import FunctionLauncher
+from repro.errors import GatewayError
 from repro.core.runner import TrialPlan, TrialRunner
 from repro.tee.base import VmConfig
 from repro.tee.registry import platform_by_name
@@ -87,9 +89,19 @@ def mean(values) -> float:
 
 # -- runner-pipeline helpers ------------------------------------------------
 
-def default_runner(runner: TrialRunner | None) -> TrialRunner:
-    """The harnesses' runner default: serial, no cache."""
-    return runner if runner is not None else TrialRunner()
+def default_runner(runner: TrialRunner | None,
+                   journal: TrialJournal | None = None) -> TrialRunner:
+    """The harnesses' runner default: serial, no cache.
+
+    With a ``journal``, the (given or default) runner records every
+    completed trial to it and replays journaled results instead of
+    re-executing — the resume path every harness exposes, so an
+    interrupted sweep picks up where it crashed.
+    """
+    runner = runner if runner is not None else TrialRunner()
+    if journal is not None:
+        runner.journal = journal
+    return runner
 
 
 def matched_cells(
@@ -112,6 +124,20 @@ def matched_cells(
 
 
 def cell_ratio(sides: dict[str, list[RunResult]]) -> float:
-    """Mean secure / mean normal elapsed time for one matched cell."""
-    return (mean(r.elapsed_ns for r in sides["secure"])
-            / mean(r.elapsed_ns for r in sides["normal"]))
+    """Mean secure / mean normal elapsed time for one matched cell.
+
+    Degraded trials carry no measurement (``elapsed_ns`` is 0), so
+    they are excluded from both means; a cell with no surviving trial
+    on either side cannot produce a ratio and raises a clean
+    :class:`~repro.errors.GatewayError` instead of dividing by zero.
+    """
+    usable = {side: [r for r in results if not r.degraded]
+              for side, results in sides.items()}
+    empty = [side for side in ("secure", "normal") if not usable[side]]
+    if empty:
+        raise GatewayError(
+            f"no completed trials on the {' or '.join(empty)} side of a "
+            "cell (every attempt degraded — budget too tight or fault "
+            "rates too high); cannot compute a secure/normal ratio")
+    return (mean(r.elapsed_ns for r in usable["secure"])
+            / mean(r.elapsed_ns for r in usable["normal"]))

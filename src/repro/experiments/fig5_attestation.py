@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.journal import TrialJournal
 from repro.core.runner import TrialPlan, TrialRunner
 from repro.experiments.common import default_runner, mean
 from repro.experiments.report import render_log_bars
@@ -53,9 +54,10 @@ class Fig5Result:
 
 
 def run_fig5(seed: int = 0, trials: int = 5,
-             runner: TrialRunner | None = None) -> Fig5Result:
+             runner: TrialRunner | None = None,
+             journal: TrialJournal | None = None) -> Fig5Result:
     """Regenerate Fig. 5 (TDX and SEV-SNP only, as in the paper)."""
-    runner = default_runner(runner)
+    runner = default_runner(runner, journal)
     # Each platform attests through its own flavor, so the plan is a
     # concatenation of single-cell matrices rather than a cross
     # product.  Attestation has no "normal VM" baseline: secure only.

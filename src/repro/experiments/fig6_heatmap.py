@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.journal import TrialJournal
 from repro.core.runner import TrialPlan, TrialRunner
 from repro.experiments.common import (
     HW_TEES,
@@ -81,9 +82,10 @@ def run_heatmap(
     languages: tuple[str, ...] = RUNTIME_NAMES,
     trials: int = PAPER_TRIALS,
     runner: TrialRunner | None = None,
+    journal: TrialJournal | None = None,
 ) -> HeatmapResult:
     """Build the ratio grid for the given platforms."""
-    runner = default_runner(runner)
+    runner = default_runner(runner, journal)
     plan = TrialPlan.matrix(
         kind="faas",
         platforms=platforms,
@@ -111,7 +113,9 @@ def run_fig6(
     languages: tuple[str, ...] = RUNTIME_NAMES,
     trials: int = PAPER_TRIALS,
     runner: TrialRunner | None = None,
+    journal: TrialJournal | None = None,
 ) -> HeatmapResult:
     """Regenerate Fig. 6 (the two hardware TEEs)."""
     return run_heatmap(HW_TEES, seed=seed, workloads=workloads,
-                       languages=languages, trials=trials, runner=runner)
+                       languages=languages, trials=trials, runner=runner,
+                       journal=journal)

@@ -231,6 +231,126 @@ class RetryPolicy:
 DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
+class BreakerState(enum.Enum):
+    """Circuit-breaker states (the classic three-state machine)."""
+
+    CLOSED = "closed"         # healthy: calls pass through
+    OPEN = "open"             # tripped: calls short-circuit
+    HALF_OPEN = "half-open"   # cooled down: one probe call allowed
+
+
+class CircuitBreaker:
+    """A seeded, deterministic circuit breaker on *virtual* time.
+
+    Wraps a flaky dependency (the Intel PCS, the VCEK device path) so
+    repeated failures stop burning the per-call retry/timeout budget:
+    after ``failure_threshold`` consecutive failures the breaker
+    *opens* and refuses calls outright; once ``cooldown_ns`` of
+    virtual time has passed it goes *half-open* and admits exactly one
+    probe, whose outcome either re-closes or re-opens the circuit.
+
+    Determinism contract: all timing comes from the caller-supplied
+    ``now_ns`` (the trial's virtual clock) and the cooldown jitter is
+    drawn from a ``(seed, name, open-episode)``-derived substream — so
+    a breaker's trajectory is a pure function of the call sequence it
+    observes, and serial/parallel sweeps stay bit-identical as long as
+    breakers are scoped per trial (the runner builds one per
+    attestation trial).
+
+    State transitions are recorded on the optional ``trace`` as
+    zero-duration ``breaker/<name>/<state>`` marks.
+    """
+
+    def __init__(self, name: str, seed: int = 0,
+                 failure_threshold: int = 3,
+                 cooldown_ns: float = 1_000_000_000.0,
+                 jitter: float = 0.1,
+                 trace: Trace | None = None) -> None:
+        if failure_threshold < 1:
+            raise SimulationError(
+                f"failure threshold must be >= 1, got {failure_threshold}")
+        if cooldown_ns <= 0:
+            raise SimulationError(
+                f"cooldown must be > 0, got {cooldown_ns}")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError(
+                f"jitter must be in [0, 1), got {jitter}")
+        self.name = name
+        self.seed = seed
+        self.failure_threshold = failure_threshold
+        self.cooldown_ns = cooldown_ns
+        self.jitter = jitter
+        self.trace = trace
+        self.state = BreakerState.CLOSED
+        #: consecutive failures observed while closed
+        self.failures = 0
+        #: calls refused (short-circuited) while open/half-open
+        self.shorted = 0
+        #: completed open episodes (indexes the jitter substream)
+        self.open_count = 0
+        self._opened_at_ns: float | None = None
+        self._cooldown_draw_ns = 0.0
+
+    def allow(self, now_ns: float) -> bool:
+        """Whether a call may proceed at virtual time ``now_ns``.
+
+        Open circuits refuse until the (jittered) cooldown elapses,
+        then admit exactly one half-open probe; a second caller during
+        the probe is refused.  Refusals are counted in :attr:`shorted`.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            opened = self._opened_at_ns or 0.0
+            if now_ns < opened:
+                # the clock regressed (a fresh trial context):
+                # re-arm the cooldown from the new timeline
+                self._opened_at_ns = now_ns
+                opened = now_ns
+            if now_ns - opened >= self._cooldown_draw_ns:
+                self._transition(BreakerState.HALF_OPEN, now_ns)
+                return True
+        self.shorted += 1
+        return False
+
+    def record_success(self, now_ns: float) -> None:
+        """Note a successful call; closes a half-open circuit."""
+        self.failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED, now_ns)
+
+    def record_failure(self, now_ns: float) -> None:
+        """Note a failed call; may trip (or re-trip) the circuit."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(now_ns)
+            return
+        if self.state is BreakerState.OPEN:
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._open(now_ns)
+
+    def _open(self, now_ns: float) -> None:
+        self._opened_at_ns = now_ns
+        draw = SimRng(self.seed,
+                      f"breaker/{self.name}/open/{self.open_count}"
+                      ).uniform(0.0, 1.0)
+        self._cooldown_draw_ns = self.cooldown_ns * (1.0 + self.jitter * draw)
+        self.open_count += 1
+        self.failures = 0
+        self._transition(BreakerState.OPEN, now_ns)
+
+    def _transition(self, state: BreakerState, now_ns: float) -> None:
+        self.state = state
+        if self.trace is not None:
+            self.trace.mark(f"breaker/{self.name}/{state.value}", now_ns)
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(name={self.name!r}, "
+                f"state={self.state.value}, failures={self.failures}, "
+                f"shorted={self.shorted})")
+
+
 @dataclass
 class FailureEvent:
     """One failed attempt: what died, the time it wasted, the backoff."""

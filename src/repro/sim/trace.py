@@ -127,6 +127,18 @@ class Trace:
         self.spans.append(span)
         return span
 
+    def mark(self, name: str, at_ns: float) -> Span:
+        """Append a zero-duration annotation span at ``at_ns``.
+
+        Marks record point events (circuit-breaker state transitions,
+        shed decisions) in the same span stream as phases.  They nest
+        under the currently open span when there is one, and carry an
+        empty breakdown, so they never disturb the root-partition
+        invariant (:meth:`ledger_total_ns`).
+        """
+        parent = self._open[-1] if self._open else None
+        return self.record(name, at_ns, at_ns, parent=parent)
+
     # -- queries -------------------------------------------------------
 
     def roots(self) -> list[Span]:

@@ -116,19 +116,50 @@ class TestResultStore:
         with pytest.raises(GatewayError):
             store.run("ghost")
 
-    def test_corrupt_file_is_loud(self, tmp_path):
-        path = tmp_path / "bad.jsonl"
-        path.write_text("{not json}\n")
-        with pytest.raises(GatewayError):
-            ResultStore(path).load()
+    def test_corrupt_line_skipped_with_warning(self, gateway, tmp_path):
+        """One bad line costs one line, not the archive."""
+        path = tmp_path / "runs.jsonl"
+        store = ResultStore(path)
+        store.save("good", seed=0, records=_records(gateway))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{not json}\n")
+        store.save("after", seed=1, records=_records(gateway))
+        with pytest.warns(UserWarning, match="bad JSON"):
+            runs = store.load()
+        assert [run.label for run in runs] == ["good", "after"]
+        assert len(store.warnings) == 1
 
-    def test_record_before_run_is_loud(self, tmp_path):
+    def test_record_before_run_skipped_with_warning(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"kind": "record", "function": "f", "language": null,'
                         ' "platform": "tdx", "secure": true, "trial": 0,'
                         ' "elapsed_ns": 1.0, "output": null, "perf": {}}\n')
-        with pytest.raises(GatewayError):
-            ResultStore(path).load()
+        store = ResultStore(path)
+        with pytest.warns(UserWarning, match="record before any run"):
+            assert store.load() == []
+
+    def test_truncated_final_line_skipped(self, gateway, tmp_path):
+        """A torn tail (crashed writer) loses only the torn record."""
+        path = tmp_path / "runs.jsonl"
+        store = ResultStore(path)
+        store.save("baseline", seed=0, records=_records(gateway))
+        whole = path.read_text(encoding="utf-8")
+        path.write_text(whole[:-25], encoding="utf-8")   # tear the tail
+        with pytest.warns(UserWarning, match="bad JSON"):
+            runs = ResultStore(path).load()
+        assert len(runs) == 1
+        assert runs[0].label == "baseline"
+        assert len(runs[0].records) == len(_records(gateway)) - 1
+
+    def test_unknown_kind_skipped_with_warning(self, gateway, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        store = ResultStore(path)
+        store.save("baseline", seed=0, records=_records(gateway))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "telemetry", "x": 1}\n')
+        with pytest.warns(UserWarning, match="unknown kind"):
+            runs = store.load()
+        assert [run.label for run in runs] == ["baseline"]
 
     def test_key_ratios(self, gateway, tmp_path):
         store = ResultStore(tmp_path / "runs.jsonl")

@@ -546,3 +546,80 @@ class TestGatewayFaults:
             gateway.invoke(InvocationRequest(
                 function="factors", language="lua", platform="tdx", trials=1,
             ))
+
+
+class TestAdmissionControl:
+    def make_gateway(self, max_pending=None, faults=None):
+        gateway = Gateway(config=small_config(), max_pending=max_pending,
+                          faults=faults)
+        gateway.upload("factors")
+        return gateway
+
+    def invoke(self, gateway, trials):
+        return gateway.invoke(InvocationRequest(
+            function="factors", language="lua", platform="tdx",
+            trials=trials,
+        ))
+
+    def test_bad_max_pending_rejected(self):
+        with pytest.raises(GatewayError, match="max_pending"):
+            Gateway(config=small_config(), max_pending=0)
+
+    def test_overflow_trials_shed_not_dropped(self):
+        gateway = self.make_gateway(max_pending=2)
+        records = self.invoke(gateway, trials=4)
+        assert len(records) == 4
+        assert [r.shed for r in records] == [False, False, True, True]
+        for record in records[2:]:
+            assert record.attempts == 0   # nothing ran
+            assert record.degraded
+            assert record.output is None
+        for record in records[:2]:
+            assert record.output is not None
+
+    def test_shed_flag_serialized_only_when_set(self):
+        gateway = self.make_gateway(max_pending=1)
+        records = self.invoke(gateway, trials=2)
+        assert records[1].to_dict()["shed"] is True
+        assert "shed" not in records[0].to_dict()
+
+    def test_admitted_prefix_identical_to_unbounded(self):
+        import json
+
+        def dump(records):
+            return json.dumps([r.to_dict() for r in records], sort_keys=True)
+
+        unbounded = self.invoke(self.make_gateway(), trials=3)
+        bounded = self.invoke(self.make_gateway(max_pending=2), trials=3)
+        assert dump(unbounded[:2]) == dump(bounded[:2])
+
+    def test_stats_invariant_holds(self):
+        gateway = self.make_gateway(max_pending=2,
+                                    faults="vm-crash=0.5,seed=4")
+        self.invoke(gateway, trials=5)
+        self.invoke(gateway, trials=1)
+        stats = gateway.stats
+        assert stats.invocations == 2
+        assert stats.trials_requested == 6
+        assert stats.trials_shed == 3
+        assert stats.trials_requested == (stats.trials_completed
+                                          + stats.trials_degraded
+                                          + stats.trials_shed)
+        payload = stats.to_dict()
+        assert payload["trials_shed"] == 3
+        assert payload["invocations"] == 2
+
+    def test_unbounded_gateway_sheds_nothing(self):
+        gateway = self.make_gateway()
+        self.invoke(gateway, trials=3)
+        assert gateway.stats.trials_shed == 0
+        assert gateway.stats.trials_completed == 3
+
+    def test_pool_counts_evictions_and_respawns(self):
+        gateway = self.make_gateway()
+        pool = gateway.pools[("tdx", True)]
+        assert (pool.evictions, pool.respawns) == (0, 0)
+        pool.workers[0].vm.destroy()
+        self.invoke(gateway, trials=2)
+        assert pool.evictions == 1
+        assert pool.respawns == 1

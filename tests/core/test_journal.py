@@ -1,0 +1,201 @@
+"""Tests for the durable trial journal and sweep resume."""
+
+import json
+
+import pytest
+
+from repro.core.journal import JOURNAL_VERSION, TrialJournal
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.errors import GatewayError
+
+
+def small_plan(trials=2, seed=0, platform="tdx"):
+    return TrialPlan.matrix(
+        kind="faas", platforms=(platform,), workloads=("cpustress",),
+        runtimes=("lua",), trials=trials, seed=seed,
+    )
+
+
+def dump(results):
+    return json.dumps([r.to_dict() for r in results], sort_keys=True)
+
+
+FAULT_SPEC = ("vm-crash=0.3,slow-trial=0.2,attest-transient=0.2,"
+              "pcs-timeout=0.2,seed=11")
+
+
+class TestJournalBasics:
+    def test_records_every_trial(self, tmp_path):
+        journal = TrialJournal(tmp_path / "sweep.jsonl")
+        plan = small_plan(trials=2)
+        TrialRunner(journal=journal).run(plan)
+        assert journal.recorded == len(plan.specs)
+        assert len(journal) == len(plan.specs)
+        journal.close()
+
+    def test_header_line_written_first(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with TrialJournal(path) as journal:
+            TrialRunner(journal=journal).run(small_plan(trials=1))
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"kind": "journal", "version": JOURNAL_VERSION}
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(GatewayError, match="directory does not exist"):
+            TrialJournal(tmp_path / "ghost" / "sweep.jsonl")
+
+    def test_directory_path_rejected(self, tmp_path):
+        with pytest.raises(GatewayError, match="is a directory"):
+            TrialJournal(tmp_path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('{"kind": "journal", "version": 999}\n')
+        with pytest.raises(GatewayError, match="unsupported journal version"):
+            TrialJournal(path)
+
+    def test_put_dedupes_by_hash(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        plan = small_plan(trials=1)
+        with TrialJournal(path) as journal:
+            results = TrialRunner(journal=journal).run(plan)
+            for spec, result in zip(plan.specs, results):
+                journal.put(spec, result)   # second offer: no-op
+            assert journal.recorded == len(plan.specs)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + len(plan.specs)   # header + one per trial
+
+
+class TestReplayIdentity:
+    def test_resumed_serial_run_bit_identical(self, tmp_path):
+        plan = small_plan(trials=3)
+        baseline = TrialRunner().run(plan)
+        with TrialJournal(tmp_path / "j.jsonl") as journal:
+            first = TrialRunner(journal=journal).run(plan)
+        with TrialJournal(tmp_path / "j.jsonl") as journal:
+            replayed = TrialRunner(journal=journal).run(plan)
+            assert journal.replayed == len(plan.specs)
+            assert journal.recorded == 0
+        assert dump(baseline) == dump(first) == dump(replayed)
+
+    def test_resume_midway_executes_only_missing_tail(self, tmp_path):
+        """A journal holding a prefix replays it and runs the rest."""
+        path = tmp_path / "j.jsonl"
+        plan = small_plan(trials=4)
+        baseline = TrialRunner().run(plan)
+        half = TrialPlan(specs=plan.specs[:4])
+        with TrialJournal(path) as journal:
+            TrialRunner(journal=journal).run(half)
+        with TrialJournal(path) as journal:
+            resumed = TrialRunner(journal=journal).run(plan)
+            assert journal.replayed == 4
+            assert journal.recorded == len(plan.specs) - 4
+        assert dump(baseline) == dump(resumed)
+
+    def test_resumed_parallel_run_bit_identical(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        plan = small_plan(trials=4)
+        baseline = TrialRunner().run(plan)
+        half = TrialPlan(specs=plan.specs[:3])
+        with TrialJournal(path) as journal:
+            TrialRunner(journal=journal).run(half)
+        with TrialJournal(path) as journal:
+            resumed = TrialRunner(jobs=4, journal=journal).run(plan)
+        assert dump(baseline) == dump(resumed)
+
+    def test_resume_under_faults_bit_identical(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        plan = small_plan(trials=4, seed=3)
+        baseline = TrialRunner(faults=FAULT_SPEC).run(plan)
+        assert any(r.faults_injected for r in baseline)
+        half = TrialPlan(specs=plan.specs[:4])
+        with TrialJournal(path) as journal:
+            TrialRunner(journal=journal, faults=FAULT_SPEC).run(half)
+        with TrialJournal(path) as journal:
+            resumed = TrialRunner(journal=journal,
+                                  faults=FAULT_SPEC).run(plan)
+        assert dump(baseline) == dump(resumed)
+
+    def test_journal_preferred_over_cache(self, tmp_path):
+        """Lookup order: journal first, then the spec-result cache."""
+        from repro.core.resultstore import SpecResultCache
+
+        plan = small_plan(trials=1)
+        cache = SpecResultCache(tmp_path / "cache.jsonl")
+        TrialRunner(cache=cache).run(plan)
+        with TrialJournal(tmp_path / "j.jsonl") as journal:
+            TrialRunner(journal=journal).run(plan)
+        cache2 = SpecResultCache(tmp_path / "cache.jsonl")
+        with TrialJournal(tmp_path / "j.jsonl") as journal:
+            TrialRunner(journal=journal, cache=cache2).run(plan)
+            assert journal.replayed == len(plan.specs)
+            assert cache2.hits == 0
+
+
+class TestCrashRecovery:
+    def _journaled(self, tmp_path, trials=2):
+        path = tmp_path / "j.jsonl"
+        plan = small_plan(trials=trials)
+        with TrialJournal(path) as journal:
+            TrialRunner(journal=journal).run(plan)
+        return path, plan
+
+    def test_torn_final_line_truncated_not_fatal(self, tmp_path):
+        path, plan = self._journaled(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-30])   # tear the last append mid-line
+        with pytest.warns(UserWarning, match="torn final line"):
+            journal = TrialJournal(path)
+        assert len(journal) == len(plan.specs) - 1
+        # the file itself was repaired: reopening is clean
+        journal.close()
+        clean = TrialJournal(path)
+        assert clean.warnings == []
+        assert len(clean) == len(plan.specs) - 1
+        clean.close()
+
+    def test_torn_line_with_newline_truncated(self, tmp_path):
+        """A flushed newline after a half-written JSON doc is torn too."""
+        path, plan = self._journaled(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-30] + b"\n")
+        with pytest.warns(UserWarning, match="torn final line"):
+            journal = TrialJournal(path)
+        assert len(journal) == len(plan.specs) - 1
+        journal.close()
+
+    def test_corrupt_middle_line_skipped_with_warning(self, tmp_path):
+        path, plan = self._journaled(tmp_path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "{corrupt")   # after header + first trial
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(UserWarning, match="corrupt journal line"):
+            journal = TrialJournal(path)
+        assert len(journal) == len(plan.specs)
+        assert any("skipped" in note for note in journal.warnings)
+        journal.close()
+
+    def test_recovered_journal_still_resumes_identically(self, tmp_path):
+        path, plan = self._journaled(tmp_path, trials=3)
+        baseline = TrialRunner().run(plan)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-25])
+        with pytest.warns(UserWarning):
+            journal = TrialJournal(path)
+        with journal:
+            resumed = TrialRunner(journal=journal).run(plan)
+            # the torn trial re-executed, the rest replayed
+            assert journal.recorded == 1
+            assert journal.replayed == len(plan.specs) - 1
+        assert dump(baseline) == dump(resumed)
+
+    def test_appends_after_recovery_land_on_clean_boundary(self, tmp_path):
+        path, plan = self._journaled(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-30])
+        with pytest.warns(UserWarning):
+            journal = TrialJournal(path)
+        with journal:
+            TrialRunner(journal=journal).run(plan)
+        for line in path.read_text().splitlines():
+            json.loads(line)   # every line is whole again

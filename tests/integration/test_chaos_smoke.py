@@ -1,0 +1,29 @@
+"""End-to-end crash/resume: the chaos smoke driver, one scenario each way.
+
+The full matrix (serial/parallel x clean/faulted) runs in CI via
+``scripts/chaos_smoke.py``; here a faulted serial and a faulted
+parallel scenario keep the kill-resume-compare path exercised by the
+regular test suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "chaos_smoke.py"
+
+
+def run_smoke(scenario: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--only", scenario, "--trials", "4"],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("scenario", ["serial-faulted", "parallel-faulted"])
+def test_killed_sweep_resumes_bit_identical(scenario):
+    proc = run_smoke(scenario)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "resumed trace == baseline" in proc.stdout

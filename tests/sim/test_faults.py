@@ -5,6 +5,8 @@ import pytest
 from repro.errors import SimulationError
 from repro.sim.faults import (
     CRASH_WASTE_SCALE_NS,
+    BreakerState,
+    CircuitBreaker,
     FailureLog,
     FaultContext,
     FaultKind,
@@ -168,3 +170,91 @@ class TestFailureLog:
         # spans are laid out sequentially and carry startup breakdowns
         assert trace.spans[0].end_ns == trace.spans[1].start_ns == 100.0
         assert trace.ledger_total_ns() == 110.0
+
+
+class TestCircuitBreaker:
+    def _tripped(self, **kwargs):
+        """A breaker driven to OPEN by consecutive failures at t=0."""
+        breaker = CircuitBreaker("dep", **kwargs)
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure(0.0)
+        return breaker
+
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="failure threshold"):
+            CircuitBreaker("dep", failure_threshold=0)
+        with pytest.raises(SimulationError, match="cooldown"):
+            CircuitBreaker("dep", cooldown_ns=0.0)
+        with pytest.raises(SimulationError, match="jitter"):
+            CircuitBreaker("dep", jitter=1.0)
+
+    def test_closed_allows_and_success_resets_failures(self):
+        breaker = CircuitBreaker("dep", failure_threshold=3)
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(2.0)
+        breaker.record_failure(3.0)
+        breaker.record_failure(4.0)
+        # the success reset the streak: still two short of the threshold
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_at_threshold_and_short_circuits(self):
+        breaker = self._tripped(failure_threshold=3)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(1.0)
+        assert not breaker.allow(2.0)
+        assert breaker.shorted == 2
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = self._tripped(cooldown_ns=100.0, jitter=0.0)
+        assert not breaker.allow(99.0)
+        assert breaker.allow(100.0)          # the single probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(101.0)      # second caller refused
+
+    def test_probe_success_closes(self):
+        breaker = self._tripped(cooldown_ns=100.0, jitter=0.0)
+        assert breaker.allow(100.0)
+        breaker.record_success(100.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(101.0)
+
+    def test_probe_failure_reopens(self):
+        breaker = self._tripped(cooldown_ns=100.0, jitter=0.0)
+        assert breaker.allow(100.0)
+        breaker.record_failure(100.0)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(150.0)
+        assert breaker.open_count == 2
+
+    def test_cooldown_jitter_is_seeded_and_deterministic(self):
+        draws = []
+        for _ in range(2):
+            breaker = self._tripped(seed=7, cooldown_ns=100.0, jitter=0.5)
+            draws.append(breaker._cooldown_draw_ns)
+        assert draws[0] == draws[1]
+        assert 100.0 <= draws[0] < 150.0
+        other = self._tripped(seed=8, cooldown_ns=100.0, jitter=0.5)
+        assert other._cooldown_draw_ns != draws[0]
+
+    def test_clock_regression_rearms_cooldown(self):
+        # a fresh trial context restarts virtual time at 0; the breaker
+        # must not treat the past-epoch trip as an elapsed cooldown
+        breaker = self._tripped(cooldown_ns=100.0, jitter=0.0)
+        breaker._opened_at_ns = 500.0
+        assert not breaker.allow(10.0)       # re-armed from t=10
+        assert not breaker.allow(109.0)
+        assert breaker.allow(110.0)
+
+    def test_transitions_marked_on_trace(self):
+        trace = Trace()
+        breaker = CircuitBreaker("pcs", cooldown_ns=100.0, jitter=0.0,
+                                 failure_threshold=1, trace=trace)
+        breaker.record_failure(0.0)
+        breaker.allow(100.0)
+        breaker.record_success(100.0)
+        marks = [span.name for span in trace.spans]
+        assert marks == ["breaker/pcs/open", "breaker/pcs/half-open",
+                         "breaker/pcs/closed"]
+        assert all(span.duration_ns == 0.0 for span in trace.spans)
