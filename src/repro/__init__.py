@@ -30,6 +30,7 @@ from repro.core.config import GatewayConfig, PlatformEntry, default_config
 from repro.core.gateway import Gateway, GatewayStats, InvocationRequest
 from repro.core.results import InvocationRecord, RatioSummary
 from repro.errors import ConfBenchError
+from repro.obs import MetricsRegistry, Profile, TraceExporter
 from repro.tee.registry import available_platforms, platform_by_name
 from repro.version import __version__
 
@@ -44,7 +45,10 @@ __all__ = [
     "GatewayStats",
     "InvocationRequest",
     "InvocationRecord",
+    "MetricsRegistry",
+    "Profile",
     "RatioSummary",
+    "TraceExporter",
     "available_platforms",
     "platform_by_name",
     "__version__",

@@ -3,7 +3,7 @@
 DESIGN.md fixes the architecture as a strict stack::
 
     sim → hw → guestos → tee → attest/runtimes → workloads
-        → core → experiments → (cli / repro package root)
+        → obs → core → experiments → (cli / repro package root)
 
 A module may import its own layer and anything *below* it; importing
 upward couples a substrate to its orchestration (e.g. ``repro.hw``
@@ -14,6 +14,9 @@ rank order:
   siblings: neither may import the other.
 - ``experiments`` must not reach into ``hw``/``guestos`` internals —
   harnesses talk to platforms through ``tee``/``core`` only.
+- ``obs`` (telemetry) sits between ``workloads`` and ``core``:
+  orchestration may import it, while substrates below it emit
+  through the duck-typed sink protocol instead of importing it.
 - ``analysis`` (this tooling) stays self-contained: it may import
   only ``errors``, so it can lint a tree it cannot import.
 - ``errors`` and ``version`` are the shared leaves everyone may
@@ -45,11 +48,12 @@ LAYERS: dict[str, int] = {
     "attest": 5,
     "runtimes": 5,
     "workloads": 6,
-    "core": 7,
-    "experiments": 8,
-    "analysis": 9,
-    "cli": 10,
-    "repro": 11,    # the package root (__init__) sits above everything
+    "obs": 7,
+    "core": 8,
+    "experiments": 9,
+    "analysis": 10,
+    "cli": 11,
+    "repro": 12,    # the package root (__init__) sits above everything
 }
 
 #: Edges forbidden even though the rank order would allow them.

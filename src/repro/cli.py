@@ -9,6 +9,12 @@
 - ``confbench serve --port 8080`` — start the REST gateway
 - ``confbench experiment fig3|fig4|fig5|fig6|fig7|fig8|dbms`` —
   regenerate a paper artifact and print it
+- ``confbench profile -f cpustress -l python -p tdx`` — run one
+  fig6-style cell and print the virtual-time attribution (per
+  CostCategory; totals the run ledger), or flamegraph collapsed stacks
+- ``confbench trace export -f cpustress -l python`` — export the
+  cell's span trees as Chrome trace-event JSON (Perfetto-loadable),
+  JSONL span records, or collapsed stacks
 - ``confbench lint [paths...]`` — static analysis enforcing the
   simulation contract (determinism, layering, trial purity)
 
@@ -108,6 +114,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "completes within this many seconds")
     experiment.add_argument("--trace-out", metavar="FILE",
                             help="dump every trial's span trace as JSON")
+    experiment.add_argument("--metrics-out", metavar="FILE",
+                            help="write the runner's metrics-registry "
+                                 "snapshot as canonical JSON (byte-identical "
+                                 "between serial and --jobs N runs)")
+    experiment.add_argument("--chrome-trace", metavar="FILE",
+                            help="export every trial's span tree as Chrome "
+                                 "trace-event JSON (chrome://tracing / "
+                                 "Perfetto)")
     experiment.add_argument("--faults", metavar="SPEC",
                             help="seeded fault injection, e.g. "
                                  "'vm-crash=0.05,pcs-timeout=0.1,seed=7'; "
@@ -115,6 +129,60 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "attest-transient, pcs-timeout, relay-drop "
                                  "(plus seed= and slow-factor=)")
     experiment.set_defaults(subparser=experiment)
+
+    def add_cell_options(sub) -> None:
+        """The fig6-style single-cell options ``profile`` and ``trace
+        export`` share: one (workload, language, platform) cell, both
+        secure and normal sides, N matched trials."""
+        sub.add_argument("-f", "--function", default="cpustress",
+                         help="FaaS workload name (default cpustress)")
+        sub.add_argument("-l", "--language", default="python",
+                         help="language runtime (default python)")
+        sub.add_argument("-p", "--platform", default="tdx")
+        sub.add_argument("-t", "--trials", type=int, default=3)
+        sub.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes (output is bit-identical "
+                              "to a serial run)")
+        sub.add_argument("--out", metavar="FILE",
+                         help="write the report here instead of stdout")
+        sub.add_argument("--metrics-out", metavar="FILE",
+                         help="also write the metrics-registry snapshot "
+                              "as canonical JSON")
+
+    profile = commands.add_parser(
+        "profile",
+        help="virtual-time profile of one workload cell",
+        description="Run one fig6-style cell (secure + normal, matched "
+                    "trials) and fold its span trees into a per-"
+                    "CostCategory attribution table — whose TOTAL equals "
+                    "the runs' ledger total — or flamegraph collapsed "
+                    "stacks.")
+    add_cell_options(profile)
+    profile.add_argument("--format", choices=("text", "json", "chrome",
+                                              "collapsed"),
+                         default="text",
+                         help="text = attribution table, json = full "
+                              "profile, chrome = trace-event JSON, "
+                              "collapsed = flamegraph stacks")
+    profile.set_defaults(subparser=profile)
+
+    trace = commands.add_parser(
+        "trace", help="span-trace tooling")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="export one cell's span trees",
+        description="Run one fig6-style cell and export its span trees; "
+                    "chrome output loads in chrome://tracing and Perfetto.")
+    add_cell_options(trace_export)
+    trace_export.add_argument("--format", choices=("text", "json", "chrome",
+                                                   "collapsed"),
+                              default="chrome",
+                              help="chrome = trace-event JSON (default), "
+                                   "json = span records (JSONL), text = "
+                                   "readable span listing, collapsed = "
+                                   "flamegraph stacks")
+    trace_export.set_defaults(subparser=trace_export)
 
     lint = commands.add_parser(
         "lint",
@@ -238,6 +306,104 @@ def _writable_file_arg(args, value: str | None, flag: str) -> None:
         args.subparser.error(f"argument {flag}: is a directory: {value}")
 
 
+def _run_cell(args):
+    """Run one fig6-style cell; returns the runner holding its history.
+
+    The plan is the standard matrix for a single (platform, workload,
+    runtime) combination — secure and normal sides, matched trials —
+    executed serially or with ``--jobs N`` (bit-identical either way).
+    """
+    from repro.core.runner import TrialPlan, TrialRunner
+
+    if args.trials < 1:
+        args.subparser.error(
+            f"argument -t/--trials: must be >= 1, got {args.trials}")
+    if args.jobs < 1:
+        args.subparser.error(
+            f"argument -j/--jobs: must be >= 1, got {args.jobs}")
+    runner = TrialRunner(jobs=args.jobs)
+    plan = TrialPlan.matrix(
+        kind="faas",
+        platforms=(args.platform,),
+        workloads=(args.function,),
+        runtimes=(args.language,),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    runner.run(plan)
+    return runner
+
+
+def _emit_report(args, text: str) -> None:
+    """Write a report to ``--out`` (if given) or stdout, then the
+    optional ``--metrics-out`` snapshot."""
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes -> {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _emit_metrics(args, runner) -> None:
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(runner.metrics.to_json())
+        print(f"wrote metrics snapshot -> {args.metrics_out}")
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.export import TraceExporter
+    from repro.obs.profile import Profile
+
+    _writable_file_arg(args, args.out, "--out")
+    _writable_file_arg(args, args.metrics_out, "--metrics-out")
+    runner = _run_cell(args)
+    if args.format == "chrome":
+        text = TraceExporter.from_history(runner.history).to_chrome_json()
+    else:
+        profile = Profile.from_history(runner.history)
+        if args.format == "json":
+            text = profile.to_json()
+        elif args.format == "collapsed":
+            text = profile.render_collapsed() + "\n"
+        else:
+            text = profile.render_table(
+                f"{args.function}/{args.language} on {args.platform} — "
+                f"virtual-time attribution over {profile.trials} trial(s)")
+    _emit_report(args, text)
+    _emit_metrics(args, runner)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.export import TraceExporter
+    from repro.obs.profile import Profile
+
+    _writable_file_arg(args, args.out, "--out")
+    _writable_file_arg(args, args.metrics_out, "--metrics-out")
+    runner = _run_cell(args)
+    exporter = TraceExporter.from_history(runner.history)
+    if args.format == "chrome":
+        text = exporter.to_chrome_json()
+    elif args.format == "json":
+        text = exporter.to_jsonl()
+    elif args.format == "collapsed":
+        text = Profile.from_history(runner.history).render_collapsed() + "\n"
+    else:
+        lines = [
+            f"{record['trial']}: {record['name']} "
+            f"[{record['start_ns']:.0f}..{record['end_ns']:.0f}] "
+            f"parent={record['parent'] or '-'} "
+            f"ledger={sum(record['breakdown'].values()):.0f}ns"
+            for record in exporter.span_records()
+        ]
+        text = "\n".join(lines) + "\n"
+    _emit_report(args, text)
+    _emit_metrics(args, runner)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         Baseline,
@@ -293,6 +459,8 @@ def _cmd_experiment(args) -> int:
     _writable_file_arg(args, args.cache, "--cache")
     _writable_file_arg(args, args.trace_out, "--trace-out")
     _writable_file_arg(args, args.resume, "--resume")
+    _writable_file_arg(args, args.metrics_out, "--metrics-out")
+    _writable_file_arg(args, args.chrome_trace, "--chrome-trace")
     if args.trial_budget is not None and args.trial_budget <= 0:
         args.subparser.error(
             f"argument --trial-budget: must be > 0, got {args.trial_budget}")
@@ -402,6 +570,16 @@ def _cmd_experiment(args) -> int:
 
         count = dump_traces(runner.history, args.trace_out)
         print(f"wrote {count} trial traces -> {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(runner.metrics.to_json())
+        print(f"wrote metrics snapshot -> {args.metrics_out}")
+    if args.chrome_trace:
+        from repro.obs.export import TraceExporter
+
+        count = TraceExporter.from_history(runner.history).write_chrome(
+            args.chrome_trace)
+        print(f"wrote {count} trace events -> {args.chrome_trace}")
     if journal is not None:
         print(f"journal: {journal.replayed} replayed, "
               f"{journal.recorded} recorded -> {args.resume}")
@@ -417,6 +595,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "diff": _cmd_diff,
     "experiment": _cmd_experiment,
+    "profile": _cmd_profile,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

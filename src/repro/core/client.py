@@ -1,4 +1,9 @@
-"""HTTP client for the REST interface."""
+"""HTTP client for the REST interface.
+
+Talks the versioned ``/v1`` API and understands the uniform error
+envelope (``{"error": {"code", "message"}}``); it remains compatible
+with pre-envelope servers whose errors were bare strings.
+"""
 
 from __future__ import annotations
 
@@ -18,6 +23,19 @@ class ConfBenchClient:
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
 
+    @staticmethod
+    def _error_detail(body: bytes) -> str:
+        """Extract the human message from an error response body."""
+        try:
+            error = json.loads(body).get("error", "")
+        except (json.JSONDecodeError, AttributeError):
+            return ""
+        if isinstance(error, dict):   # the v1 envelope
+            code = error.get("code", "")
+            message = error.get("message", "")
+            return f"[{code}] {message}" if code else str(message)
+        return str(error or "")
+
     def _request(self, method: str, path: str,
                  payload: dict | None = None) -> Any:
         url = f"{self.base_url}{path}"
@@ -31,8 +49,8 @@ class ConfBenchClient:
                 return json.loads(resp.read())
         except urllib.error.HTTPError as exc:
             try:
-                detail = json.loads(exc.read()).get("error", "")
-            except (json.JSONDecodeError, OSError):
+                detail = self._error_detail(exc.read())
+            except OSError:
                 detail = ""
             raise GatewayError(
                 f"{method} {path} failed with {exc.code}: {detail}"
@@ -43,29 +61,29 @@ class ConfBenchClient:
     # -- API methods ----------------------------------------------------
 
     def health(self) -> dict:
-        """GET /health."""
-        return self._request("GET", "/health")
+        """GET /v1/health."""
+        return self._request("GET", "/v1/health")
 
     def platforms(self) -> list[dict]:
-        """GET /platforms."""
-        return self._request("GET", "/platforms")
+        """GET /v1/platforms."""
+        return self._request("GET", "/v1/platforms")
 
     def functions(self) -> list[str]:
-        """GET /functions."""
-        return self._request("GET", "/functions")
+        """GET /v1/functions."""
+        return self._request("GET", "/v1/functions")
 
     def upload(self, name: str,
                languages: list[str] | None = None) -> dict:
-        """POST /functions."""
+        """POST /v1/functions."""
         payload: dict[str, Any] = {"name": name}
         if languages is not None:
             payload["languages"] = languages
-        return self._request("POST", "/functions", payload)
+        return self._request("POST", "/v1/functions", payload)
 
     def invoke(self, function: str, language: str, platform: str = "tdx",
                secure: bool = True, args: dict | None = None,
                trials: int | None = None) -> list[dict]:
-        """POST /invoke; returns per-trial records."""
+        """POST /v1/invoke; returns per-trial records."""
         payload: dict[str, Any] = {
             "function": function,
             "language": language,
@@ -75,4 +93,12 @@ class ConfBenchClient:
         }
         if trials is not None:
             payload["trials"] = trials
-        return self._request("POST", "/invoke", payload)
+        return self._request("POST", "/v1/invoke", payload)
+
+    def metrics(self) -> dict:
+        """GET /v1/metrics — the gateway's metrics-registry snapshot."""
+        return self._request("GET", "/v1/metrics")
+
+    def stats(self) -> dict:
+        """GET /v1/stats — the gateway's supervision counters."""
+        return self._request("GET", "/v1/stats")

@@ -11,6 +11,7 @@ with perf metrics piggybacked.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,8 +25,26 @@ from repro.core.results import InvocationRecord
 from repro.core.runner import TrialRunner
 from repro.core.storage import FunctionStore
 from repro.errors import GatewayError, PoolExhaustedError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.faults import FaultPlan
 from repro.tee.registry import platform_by_name
+from repro.tee.vm import RunResult
+
+#: deprecation messages already issued this process (warn once each)
+_WARNED: set[str] = set()
+
+
+def warn_once(message: str) -> None:
+    """Issue a :class:`DeprecationWarning` once per process per message.
+
+    The v1 API redesign keeps every legacy entry point alive as a shim;
+    warning on each of potentially thousands of trial invocations would
+    drown real output, so each distinct message fires exactly once.
+    """
+    if message in _WARNED:
+        return
+    _WARNED.add(message)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -89,6 +108,15 @@ class Gateway:
         #: queued without bound.  None = admit everything.
         self.max_pending = max_pending
         self.stats = GatewayStats()
+        #: unified telemetry registry (shared with the runner and every
+        #: pool) — what ``GET /v1/metrics`` and ``ConfBench.metrics()``
+        #: serve
+        self.metrics = (self.runner.metrics
+                        if getattr(self.runner, "metrics", None) is not None
+                        else MetricsRegistry())
+        #: every RunResult produced through this gateway, in invocation
+        #: order — the trace/profile exporters fold these span trees
+        self.run_log: list[RunResult] = []
         self.store = FunctionStore()
         self.hosts: dict[str, Host] = {}
         self.pools: dict[tuple[str, bool], TeePool] = {}
@@ -113,6 +141,7 @@ class Gateway:
             for pool in (secure_pool, normal_pool):
                 pool.respawn = self._respawner(host, pool)
                 pool.faults = self.faults
+                pool.metrics = self.metrics
             self.pools[(entry.platform, True)] = secure_pool
             self.pools[(entry.platform, False)] = normal_pool
 
@@ -155,17 +184,32 @@ class Gateway:
                 f"({'secure' if secure else 'normal'})"
             ) from None
 
+    def _resolve_trials(self, trials: int | None) -> int:
+        """Uniform ``trials`` semantics: None means the config default."""
+        resolved = (trials if trials is not None
+                    else self.config.default_trials)
+        if resolved < 1:
+            raise GatewayError(f"trials must be >= 1, got {resolved}")
+        return resolved
+
+    def _record_run(self, run: RunResult) -> RunResult:
+        """Log a completed run into the telemetry streams.
+
+        Gateway trials run serially in-process (``runner.run_trials``),
+        so emission order here is invocation order — deterministic for
+        identical request sequences.
+        """
+        self.run_log.append(run)
+        run.emit(self.metrics)
+        return run
+
     def invoke(self, request: InvocationRequest) -> list[InvocationRecord]:
         """Run a request for its configured number of trials."""
-        trials = (request.trials if request.trials is not None
-                  else self.config.default_trials)
-        if trials < 1:
-            raise GatewayError(f"trials must be >= 1, got {trials}")
-
+        trials = self._resolve_trials(request.trials)
         if request.language is None:
             raise GatewayError(
                 "FaaS invocations need a language; classic executables go "
-                "through invoke_native() (the cross-compile-and-submit path)"
+                "through invoke_classic() (the cross-compile-and-submit path)"
             )
         stored = self.store.require_language(request.function, request.language)
         launcher = FunctionLauncher.for_language(request.language)
@@ -183,6 +227,7 @@ class Gateway:
                     raise
                 return self._degraded_record(
                     pool, request.function, request.language, trial)
+            self._record_run(run)
             report = monitor.collect(run)
             return InvocationRecord.from_run(
                 run,
@@ -196,15 +241,24 @@ class Gateway:
                                request.function, request.language)
         return self._account(trials, self.runner.run_trials(trials, admitted))
 
-    def invoke_native(self, name: str, fn, platform: str, secure: bool,
-                      trials: int = 1, *fn_args,
-                      **fn_kwargs) -> list[InvocationRecord]:
+    def invoke_classic(self, name: str, fn, *, platform: str = "tdx",
+                       secure: bool = True, trials: int | None = None,
+                       fn_args: tuple = (),
+                       fn_kwargs: dict[str, Any] | None = None,
+                       ) -> list[InvocationRecord]:
         """Run a classic (non-FaaS) workload callable.
 
         ``fn`` receives the guest kernel; no language runtime is
-        involved (the paper's cross-compiled-executable path).
+        involved (the paper's cross-compiled-executable path).  The
+        signature mirrors :meth:`invoke`'s keyword surface: ``platform``
+        / ``secure`` / ``trials`` are keyword-only and ``trials=None``
+        means the config default, the same semantics FaaS invocations
+        get.  Extra workload arguments travel via ``fn_args`` /
+        ``fn_kwargs`` rather than positional ``*args`` so they can
+        never be confused with request parameters.
         """
-        body = native_launcher(fn, *fn_args, **fn_kwargs)
+        trials = self._resolve_trials(trials)
+        body = native_launcher(fn, *fn_args, **(fn_kwargs or {}))
         pool = self._pool(platform, secure)
         monitor = self.monitors[platform]
 
@@ -215,6 +269,7 @@ class Gateway:
                 if self.faults is None or not self.faults.active:
                     raise
                 return self._degraded_record(pool, name, None, trial)
+            self._record_run(run)
             report = monitor.collect(run)
             return InvocationRecord.from_run(
                 run, function=name, language=None, perf=dict(report.events),
@@ -222,6 +277,24 @@ class Gateway:
 
         admitted = self._admit(one_trial, pool, name, None)
         return self._account(trials, self.runner.run_trials(trials, admitted))
+
+    def invoke_native(self, name: str, fn, platform: str, secure: bool,
+                      trials: int = 1, *fn_args,
+                      **fn_kwargs) -> list[InvocationRecord]:
+        """Deprecated alias for :meth:`invoke_classic`.
+
+        The legacy positional signature (``trials`` defaulting to 1,
+        workload arguments as trailing ``*fn_args``) is preserved
+        verbatim; new code should call :meth:`invoke_classic`, whose
+        keyword-only surface matches :meth:`invoke`.
+        """
+        warn_once(
+            "Gateway.invoke_native() is deprecated; use "
+            "Gateway.invoke_classic(name, fn, *, platform=..., secure=..., "
+            "trials=...) instead")
+        return self.invoke_classic(name, fn, platform=platform,
+                                   secure=secure, trials=trials,
+                                   fn_args=fn_args, fn_kwargs=fn_kwargs)
 
     def _admit(self, one_trial, pool: TeePool, function: str,
                language: str | None):
@@ -247,7 +320,12 @@ class Gateway:
 
     def _account(self, trials: int,
                  records: list[InvocationRecord]) -> list[InvocationRecord]:
-        """Fold one invocation's outcome into :attr:`stats`."""
+        """Fold one invocation's outcome into :attr:`stats`.
+
+        The same tallies are mirrored into :attr:`metrics` as
+        ``gateway.*`` counters so one snapshot carries both the
+        supervision view and the per-run measurement streams.
+        """
         self.stats.invocations += 1
         self.stats.trials_requested += trials
         for record in records:
@@ -257,6 +335,18 @@ class Gateway:
                 self.stats.trials_degraded += 1
             else:
                 self.stats.trials_completed += 1
+        self.metrics.count("gateway.invocations", 1)
+        self.metrics.count("gateway.trials_requested", trials)
+        shed = sum(1 for record in records if record.shed)
+        degraded = sum(1 for record in records
+                       if record.degraded and not record.shed)
+        if shed:
+            self.metrics.count("gateway.trials_shed", shed)
+        if degraded:
+            self.metrics.count("gateway.trials_degraded", degraded)
+        completed = len(records) - shed - degraded
+        if completed:
+            self.metrics.count("gateway.trials_completed", completed)
         return records
 
     def _shed_record(self, pool: TeePool, function: str,

@@ -59,11 +59,14 @@ class PerfMonitor:
         """Build the report for one run."""
         counters = result.counters.as_dict()
         supports_counters = self.platform.info().supports_perf_counters
+        # Default missing events to 0: a counter source (older caches,
+        # degraded runs, custom scripts feeding synthetic results) that
+        # lacks an event must not crash collection with a KeyError.
         if supports_counters:
-            events = {key: counters[key] for key in HARDWARE_EVENTS}
+            events = {key: counters.get(key, 0) for key in HARDWARE_EVENTS}
             source = "perf-stat"
         else:
-            events = {key: counters[key] for key in SOFTWARE_EVENTS}
+            events = {key: counters.get(key, 0) for key in SOFTWARE_EVENTS}
             source = "custom-script"
         extra = {
             name: script(result)

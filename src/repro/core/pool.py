@@ -73,6 +73,20 @@ class TeePool:
     #: supervision counters: dead workers removed / replacements added
     evictions: int = 0
     respawns: int = 0
+    #: optional metrics sink (the :mod:`repro.obs` protocol); the
+    #: gateway wires its registry in so pool supervision shows up in
+    #: ``GET /v1/metrics``
+    metrics: "object | None" = None
+
+    @property
+    def side(self) -> str:
+        """``"secure"`` or ``"normal"`` — the metric/display key."""
+        return "secure" if self.secure else "normal"
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.count(
+                f"pool.{self.platform}.{self.side}.{event}", amount)
 
     def add_worker(self, vm: Vm, port: int) -> Worker:
         """Register a booted VM as a pool worker."""
@@ -169,6 +183,7 @@ class TeePool:
                     replacement = self.respawn(worker)
                     if replacement is not None:
                         self.respawns += 1
+                        self._count("respawns")
                         wasted += replacement.vm.boot_time_ns
                 failures.add(type(exc).__name__, wasted_ns=wasted,
                              backoff_ns=self.retry_policy.backoff_ns(attempt))
@@ -186,6 +201,7 @@ class TeePool:
             if attempt or injected:
                 result.attempts = attempt + 1
                 result.faults_injected = tuple(injected)
+            self._count("served")
             return result
         raise PoolExhaustedError(
             f"pool {self.platform}/{'secure' if self.secure else 'normal'}: "

@@ -3,15 +3,30 @@
 §III-A: "users can submit workloads to execute via a REST-based
 interface together with the corresponding runtime parameters".  The
 paper's gateway is Rust/Axum; this one is the Python stdlib's
-threading HTTP server, exposing:
+threading HTTP server.
 
-- ``GET  /platforms``         — configured execution platforms
-- ``GET  /functions``         — uploaded function names
-- ``POST /functions``         — upload: ``{"name": ..., "languages": [...]}``
-- ``POST /invoke``            — run: ``{"function", "language",
+The API is versioned under ``/v1``; the unprefixed legacy paths stay
+as aliases to the same handlers:
+
+- ``GET  /v1/health``         — liveness probe
+- ``GET  /v1/platforms``      — configured execution platforms
+- ``GET  /v1/functions``      — uploaded function names
+- ``POST /v1/functions``      — upload: ``{"name": ..., "languages": [...]}``
+- ``POST /v1/invoke``         — run: ``{"function", "language",
   "platform", "secure", "args", "trials"}``
+- ``GET  /v1/metrics``        — the gateway's metrics-registry snapshot
+- ``GET  /v1/stats``          — supervision counters (:class:`GatewayStats`)
 
-Responses are JSON; errors come back as ``{"error": ...}`` with 4xx.
+Responses are JSON.  Errors use a uniform envelope::
+
+    {"error": {"code": "bad_request", "message": "..."}}
+
+with the proper status split: 400 for malformed/invalid bodies
+(``bad_request``), 404 for unknown resources (``not_found``), and 405
+with an ``Allow`` header for a known resource hit with the wrong
+method (``method_not_allowed``).  ``POST /v1/invoke`` is strict: a
+body field outside the documented set is a 400 (the legacy ``/invoke``
+alias keeps ignoring unknown fields).
 """
 
 from __future__ import annotations
@@ -23,6 +38,20 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.core.gateway import Gateway, InvocationRequest
 from repro.errors import ConfBenchError
 
+#: resource path (version prefix stripped) -> {HTTP method: handler name}
+_ROUTES: dict[str, dict[str, str]] = {
+    "/health": {"GET": "health"},
+    "/platforms": {"GET": "platforms"},
+    "/functions": {"GET": "functions", "POST": "upload"},
+    "/invoke": {"POST": "invoke"},
+    "/metrics": {"GET": "metrics"},
+    "/stats": {"GET": "stats"},
+}
+
+#: the documented ``POST /v1/invoke`` body fields (strict mode)
+_INVOKE_FIELDS = frozenset(
+    {"function", "language", "platform", "secure", "args", "trials"})
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Request handler bound to one gateway via the server object."""
@@ -33,13 +62,24 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
 
-    def _send(self, status: int, payload) -> None:
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, status: int, payload,
+              headers: dict[str, str] | None = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _error(self, status: int, code: str, message: str,
+               allow: list[str] | None = None) -> None:
+        headers = {"Allow": ", ".join(allow)} if allow else None
+        self._send(status, {"error": {"code": code, "message": message}},
+                   headers=headers)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", "0"))
@@ -52,48 +92,101 @@ class _Handler(BaseHTTPRequestHandler):
             raise ConfBenchError("request body must be a JSON object")
         return payload
 
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        versioned = path == "/v1" or path.startswith("/v1/")
+        if versioned:
+            path = path[len("/v1"):] or "/"
+        methods = _ROUTES.get(path)
+        if methods is None:
+            self._error(404, "not_found", f"no such resource: {self.path}")
+            return
+        name = methods.get(method)
+        if name is None:
+            self._error(405, "method_not_allowed",
+                        f"{method} is not allowed on {path}",
+                        allow=sorted(methods))
+            return
+        try:
+            getattr(self, f"_handle_{name}")(versioned)
+        except ConfBenchError as exc:
+            self._error(400, "bad_request", str(exc))
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib API
-        gateway = self.server.gateway
-        if self.path == "/platforms":
-            self._send(200, gateway.platforms())
-        elif self.path == "/functions":
-            self._send(200, gateway.functions())
-        elif self.path == "/health":
-            self._send(200, {"status": "ok"})
-        else:
-            self._send(404, {"error": f"no such resource: {self.path}"})
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib API
-        gateway = self.server.gateway
-        try:
-            payload = self._read_json()
-            if self.path == "/functions":
-                name = payload.get("name")
-                if not name:
-                    raise ConfBenchError("upload needs a 'name'")
-                languages = payload.get("languages")
-                gateway.upload(
-                    name,
-                    tuple(languages) if languages is not None else None,
-                )
-                self._send(201, {"uploaded": name})
-            elif self.path == "/invoke":
-                request = InvocationRequest(
-                    function=payload.get("function", ""),
-                    language=payload.get("language"),
-                    platform=payload.get("platform", "tdx"),
-                    secure=bool(payload.get("secure", True)),
-                    args=payload.get("args", {}),
-                    trials=payload.get("trials"),
-                )
-                if not request.function:
-                    raise ConfBenchError("invoke needs a 'function'")
-                records = gateway.invoke(request)
-                self._send(200, [record.to_dict() for record in records])
-            else:
-                self._send(404, {"error": f"no such resource: {self.path}"})
-        except ConfBenchError as exc:
-            self._send(400, {"error": str(exc)})
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib API
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib API
+        self._dispatch("DELETE")
+
+    # -- handlers ------------------------------------------------------
+
+    def _handle_health(self, versioned: bool) -> None:
+        self._send(200, {"status": "ok"})
+
+    def _handle_platforms(self, versioned: bool) -> None:
+        self._send(200, self.server.gateway.platforms())
+
+    def _handle_functions(self, versioned: bool) -> None:
+        self._send(200, self.server.gateway.functions())
+
+    def _handle_metrics(self, versioned: bool) -> None:
+        registry = getattr(self.server.gateway, "metrics", None)
+        if registry is None:
+            self._send(200, {"counters": {}, "gauges": {}, "histograms": {}})
+            return
+        self._send(200, registry.snapshot())
+
+    def _handle_stats(self, versioned: bool) -> None:
+        self._send(200, self.server.gateway.stats.to_dict())
+
+    def _handle_upload(self, versioned: bool) -> None:
+        payload = self._read_json()
+        name = payload.get("name")
+        if not name or not isinstance(name, str):
+            raise ConfBenchError("upload needs a 'name'")
+        languages = payload.get("languages")
+        self.server.gateway.upload(
+            name,
+            tuple(languages) if languages is not None else None,
+        )
+        self._send(201, {"uploaded": name})
+
+    def _handle_invoke(self, versioned: bool) -> None:
+        payload = self._read_json()
+        if versioned:
+            unknown = sorted(set(payload) - _INVOKE_FIELDS)
+            if unknown:
+                raise ConfBenchError(
+                    f"unknown invoke field(s): {', '.join(unknown)}; "
+                    f"allowed: {', '.join(sorted(_INVOKE_FIELDS))}")
+        function = payload.get("function", "")
+        if not function or not isinstance(function, str):
+            raise ConfBenchError("invoke needs a 'function'")
+        args = payload.get("args", {})
+        if args is None:
+            args = {}
+        if not isinstance(args, dict):
+            raise ConfBenchError("'args' must be a JSON object")
+        trials = payload.get("trials")
+        if trials is not None and (isinstance(trials, bool)
+                                   or not isinstance(trials, int)):
+            raise ConfBenchError("'trials' must be an integer")
+        request = InvocationRequest(
+            function=function,
+            language=payload.get("language"),
+            platform=payload.get("platform", "tdx"),
+            secure=bool(payload.get("secure", True)),
+            args=args,
+            trials=trials,
+        )
+        records = self.server.gateway.invoke(request)
+        self._send(200, [record.to_dict() for record in records])
 
 
 class RestServer(ThreadingHTTPServer):

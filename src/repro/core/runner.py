@@ -45,6 +45,7 @@ from repro.errors import (
     VmCrashError,
 )
 from repro.hw.perfcounters import PerfCounters
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.faults import (
     DEFAULT_RETRY_POLICY,
     FailureLog,
@@ -860,6 +861,12 @@ class TrialRunner:
         when no trial completes for this many real seconds, the worker
         pool is presumed stuck and respawned.  Only meaningful with
         ``jobs > 1``.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to
+        aggregate into (one is created when omitted).  Results are
+        observed in **spec order** after each ``run`` — never from
+        completion-order callbacks — so a parallel run's snapshot is
+        byte-identical to a serial run's.
     """
 
     def __init__(self, jobs: int = 1,
@@ -868,7 +875,8 @@ class TrialRunner:
                  faults: "str | FaultPlan | None" = None,
                  journal=None,
                  budget_ns: float | None = None,
-                 watchdog_s: float | None = None) -> None:
+                 watchdog_s: float | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
         if budget_ns is not None and budget_ns < 0:
@@ -883,6 +891,7 @@ class TrialRunner:
         self.cache = cache
         self.journal = journal
         self.budget_ns = budget_ns
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.faults = (
             FaultPlan.parse(faults).to_spec() if faults is not None else None
         )
@@ -898,13 +907,20 @@ class TrialRunner:
             plan = plan.with_faults(self.faults)
         if self.budget_ns:
             plan = plan.with_budget(self.budget_ns)
+        if self.journal is not None \
+                and getattr(self.journal, "metrics", None) is None:
+            self.journal.metrics = self.metrics
         results: dict[int, RunResult] = {}
         pending: list[tuple[int, TrialSpec]] = []
+        replayed_before = (self.journal.replayed
+                           if self.journal is not None else 0)
+        cached = 0
         for index, spec in enumerate(plan):
             archived = (self.journal.get(spec)
                         if self.journal is not None else None)
             if archived is None and self.cache is not None:
                 archived = self.cache.get(spec)
+                cached += archived is not None
             if archived is not None:
                 results[index] = archived
             else:
@@ -913,7 +929,30 @@ class TrialRunner:
             self._dispatch(pending, results)
         ordered = [results[index] for index in range(len(plan))]
         self.history.append((plan, ordered))
+        replayed = (self.journal.replayed - replayed_before
+                    if self.journal is not None else 0)
+        self._observe(ordered, executed=len(pending),
+                      replayed=replayed, cached=cached)
         return ordered
+
+    def _observe(self, ordered: list[RunResult], executed: int,
+                 replayed: int, cached: int) -> None:
+        """Fold one plan's results into the metrics registry.
+
+        Called with results in spec order *after* execution, never
+        from the executors' completion-order callbacks: histogram
+        float sums accumulate in one fixed order, which is what keeps
+        serial and parallel snapshots byte-identical.
+        """
+        self.metrics.count("runner.plans", 1)
+        self.metrics.count("runner.trials", len(ordered))
+        self.metrics.count("runner.trials_executed", executed)
+        if replayed:
+            self.metrics.count("runner.trials_replayed", replayed)
+        if cached:
+            self.metrics.count("runner.trials_cached", cached)
+        for result in ordered:
+            result.emit(self.metrics)
 
     def _dispatch(self, pending: list[tuple[int, TrialSpec]],
                   results: dict[int, RunResult]) -> None:

@@ -26,6 +26,8 @@ class DbmsTableResult:
     test_names: dict[int, str] = field(default_factory=dict)
     #: platform -> {test_id -> ratio}
     ratios: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: the runner's metrics-registry snapshot for this artifact's runs
+    metrics: dict = field(default_factory=dict)
 
     def average_ratio(self, platform: str) -> float:
         return mean(self.ratios[platform].values())
@@ -90,4 +92,5 @@ def run_dbms_table(
             test_id: mean(secure_acc[test_id]) / mean(normal_acc[test_id])
             for test_id in secure_acc
         }
+    result.metrics = runner.metrics.snapshot()
     return result

@@ -28,6 +28,8 @@ class Fig3Result:
     image_count: int
     #: platform -> {"secure": [ns...], "normal": [ns...]}
     times: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    #: the runner's metrics-registry snapshot for this artifact's runs
+    metrics: dict = field(default_factory=dict)
 
     def stack(self, platform: str, kind: str) -> dict[str, float]:
         """min/p25/median/p95/max for one series."""
@@ -87,4 +89,5 @@ def run_fig3(
             "secure": [ns for run in sides["secure"] for ns in run.output],
             "normal": [ns for run in sides["normal"] for ns in run.output],
         }
+    result.metrics = runner.metrics.snapshot()
     return result

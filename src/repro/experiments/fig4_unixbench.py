@@ -26,6 +26,8 @@ class Fig4Result:
     test_ratios: dict[str, dict[str, float]] = field(default_factory=dict)
     #: platform -> mean vm transitions per secure run
     transitions: dict[str, float] = field(default_factory=dict)
+    #: the runner's metrics-registry snapshot for this artifact's runs
+    metrics: dict = field(default_factory=dict)
 
     def render(self) -> str:
         bars = render_ratio_bars(
@@ -79,4 +81,5 @@ def run_fig4(
         result.transitions[platform] = mean(
             r.counters.vm_transitions for r in secure_runs
         )
+    result.metrics = runner.metrics.snapshot()
     return result

@@ -40,6 +40,8 @@ class Fig5Result:
     latencies_ns: dict[str, float] = field(default_factory=dict)
     #: share of the TDX check spent on network round-trips
     tdx_check_network_fraction: float = 0.0
+    #: the runner's metrics-registry snapshot for this artifact's runs
+    metrics: dict = field(default_factory=dict)
 
     def render(self) -> str:
         bars = render_log_bars(
@@ -91,4 +93,5 @@ def run_fig5(seed: int = 0, trials: int = 5,
         },
         tdx_check_network_fraction=(
             mean(tdx_check_network) / mean(check["tdx"])),
+        metrics=runner.metrics.snapshot(),
     )

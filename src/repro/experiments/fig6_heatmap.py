@@ -40,6 +40,8 @@ class HeatmapResult:
     languages: tuple[str, ...]
     #: platform -> {(language, workload) -> ratio}
     grids: dict[str, dict[tuple[str, str], float]] = field(default_factory=dict)
+    #: the runner's metrics-registry snapshot for this artifact's runs
+    metrics: dict = field(default_factory=dict)
 
     def ratio(self, platform: str, language: str, workload: str) -> float:
         return self.grids[platform][(language, workload)]
@@ -104,6 +106,7 @@ def run_heatmap(
             for language in languages
             for workload in workloads
         }
+    result.metrics = runner.metrics.snapshot()
     return result
 
 

@@ -35,6 +35,8 @@ class Fig8Result:
     language: str
     #: workload -> {"secure": [ns...], "normal": [ns...]}
     samples: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    #: the runner's metrics-registry snapshot for this artifact's runs
+    metrics: dict = field(default_factory=dict)
 
     def summary(self, workload: str, kind: str) -> dict[str, float]:
         return five_number_summary(self.samples[workload][kind])
@@ -91,4 +93,5 @@ def run_fig8(
             "secure": [r.elapsed_ns for r in sides["secure"]],
             "normal": [r.elapsed_ns for r in sides["normal"]],
         }
+    result.metrics = runner.metrics.snapshot()
     return result

@@ -39,6 +39,8 @@ class EvaluationSummary:
 
     renders: dict[str, str] = field(default_factory=dict)
     checks: list[ShapeCheck] = field(default_factory=list)
+    #: the shared runner's metrics snapshot across every artifact
+    metrics: dict = field(default_factory=dict)
 
     @property
     def all_hold(self) -> bool:
@@ -182,4 +184,5 @@ def run_evaluation(seed: int = 1, quick: bool = True,
                 f"normal {fig8.mean_whisker_span('normal'):.2f}"),
     ))
 
+    summary.metrics = runner.metrics.snapshot()
     return summary

@@ -63,6 +63,18 @@ class PerfCounters:
         return {field_info.name: getattr(self, field_info.name)
                 for field_info in fields(self)}
 
+    def emit(self, sink, prefix: str = "perf") -> None:
+        """Feed every counter into a metrics sink.
+
+        ``sink`` is duck-typed against the :mod:`repro.obs` sink
+        protocol (``sink.count(name, value)``) — this layer sits below
+        the observability package and must not import it.  Counter
+        order is the field declaration order, which is fixed, so
+        emission is deterministic.
+        """
+        for name, value in self.as_dict().items():
+            sink.count(f"{prefix}.{name}", value)
+
     def cache_miss_rate(self) -> float:
         """Cache misses per reference (0.0 when no references)."""
         if self.cache_references == 0:

@@ -1,0 +1,209 @@
+"""Virtual-time profiler: span trees → collapsed stacks + attribution.
+
+Two views over the same trace data:
+
+- **Collapsed stacks** (``root;child;grandchild <ns>``) — the
+  flamegraph input format (Brendan Gregg's ``flamegraph.pl``,
+  speedscope, inferno).  The value per stack is *self* ledger time:
+  the nanoseconds charged while that span was the innermost open one,
+  so stack values sum exactly to the run's ledger total.
+- **Per-CostCategory attribution** — where each platform's overhead
+  goes (the paper's bounce-buffer / TDVMCALL analysis, automated):
+  nanoseconds per :class:`~repro.sim.ledger.CostCategory`, summed over
+  *root* spans only.  Root spans partition a run, so the attribution
+  total equals the run ledger's total — the invariant the runner tests
+  pin, carried through to the profile.
+
+Like everything in :mod:`repro.obs`, output is deterministic: traces
+are folded in spec order and every serialisation sorts its keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+def _resolve_parents(spans: list) -> list[int | None]:
+    """Parent *instance* for each span in a trace.
+
+    Spans name their parent by string (see
+    :class:`~repro.sim.trace.Span`), which is ambiguous when a name
+    repeats (``retry`` spans, per-trial ``failure`` replays).  The
+    tightest enclosing span with the parent's name wins — children are
+    contained in their parent's virtual-time interval by construction.
+    A parent name with no enclosing instance falls back to the first
+    span of that name; a span whose parent cannot be found is treated
+    as a root.
+    """
+    by_name: dict[str, list[int]] = {}
+    for index, span in enumerate(spans):
+        by_name.setdefault(span.name, []).append(index)
+    parents: list[int | None] = [None] * len(spans)
+    for index, span in enumerate(spans):
+        if span.parent is None:
+            continue
+        candidates = [
+            other for other in by_name.get(span.parent, ())
+            if other != index
+            and spans[other].start_ns <= span.start_ns
+            and spans[other].end_ns >= span.end_ns
+        ]
+        if candidates:
+            parents[index] = max(
+                candidates,
+                key=lambda other: (spans[other].start_ns,
+                                   -spans[other].end_ns))
+        else:
+            named = [other for other in by_name.get(span.parent, ())
+                     if other != index]
+            parents[index] = named[0] if named else None
+    return parents
+
+
+def fold_stacks(trace) -> dict[str, float]:
+    """Fold one trace into collapsed-stack → self-ledger-ns.
+
+    Self time is the span's ledger delta minus its direct children's —
+    a parent's breakdown covers its whole open window, children
+    included, so subtracting the children leaves exactly the charges
+    made at this stack depth.  Summed over all stacks this telescopes
+    back to the root spans' total, i.e. the run ledger total.
+    """
+    spans = list(trace)
+    parents = _resolve_parents(spans)
+
+    paths: dict[int, str] = {}
+
+    def path_of(index: int) -> str:
+        known = paths.get(index)
+        if known is not None:
+            return known
+        # walk to the root iteratively; a name-collision cycle (parent
+        # resolving back through a descendant) degrades to a root path
+        chain: list[int] = []
+        seen: set[int] = set()
+        cursor: int | None = index
+        while cursor is not None and cursor not in seen and cursor not in paths:
+            seen.add(cursor)
+            chain.append(cursor)
+            cursor = parents[cursor]
+        prefix = paths.get(cursor, "") if cursor is not None else ""
+        for member in reversed(chain):
+            prefix = (f"{prefix};{spans[member].name}" if prefix
+                      else spans[member].name)
+            paths[member] = prefix
+        return paths[index]
+
+    child_ledger = [0.0] * len(spans)
+    for index, parent in enumerate(parents):
+        if parent is not None:
+            child_ledger[parent] += spans[index].ledger_ns
+
+    stacks: dict[str, float] = {}
+    for index, span in enumerate(spans):
+        self_ns = span.ledger_ns - child_ledger[index]
+        key = path_of(index)
+        stacks[key] = stacks.get(key, 0.0) + self_ns
+    return stacks
+
+
+@dataclass
+class Profile:
+    """An aggregated virtual-time profile over one or more trials."""
+
+    #: cost-category name -> total ns, over root spans (first-seen order)
+    categories: dict[str, float] = field(default_factory=dict)
+    #: sum of root-span ledger deltas == sum of run ledger totals
+    total_ns: float = 0.0
+    #: collapsed stack -> self ledger ns, aggregated across trials
+    stacks: dict[str, float] = field(default_factory=dict)
+    #: how many trial traces were folded in
+    trials: int = 0
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_runs(cls, results: Iterable) -> "Profile":
+        """Fold a flat list of :class:`RunResult`-like objects."""
+        profile = cls()
+        for result in results:
+            profile.add(result.trace)
+        return profile
+
+    @classmethod
+    def from_history(cls, history: Iterable) -> "Profile":
+        """Fold every trial in a runner's ``(plan, results)`` history."""
+        profile = cls()
+        for _, results in history:
+            for result in results:
+                profile.add(result.trace)
+        return profile
+
+    def add(self, trace) -> None:
+        """Fold one more trace into the profile."""
+        self.trials += 1
+        for span in trace.roots():
+            for category, nanos in span.breakdown.items():
+                self.categories[category] = (
+                    self.categories.get(category, 0.0) + nanos)
+        self.total_ns += trace.ledger_total_ns()
+        for path, nanos in fold_stacks(trace).items():
+            self.stacks[path] = self.stacks.get(path, 0.0) + nanos
+
+    # -- output --------------------------------------------------------
+
+    def render_table(self, title: str | None = None) -> str:
+        """The per-CostCategory attribution table.
+
+        The TOTAL row equals the profiled runs' summed ledger total
+        (the acceptance invariant ``confbench profile`` prints).
+        """
+        header = title or (
+            f"Virtual-time attribution over {self.trials} trial(s)")
+        rows = sorted(self.categories.items(), key=lambda item: -item[1])
+        name_width = max([len("category"), len("TOTAL"),
+                          *(len(name) for name, _ in rows)]) + 2
+        lines = [header, ""]
+        lines.append(f"{'category'.ljust(name_width)}"
+                     f"{'ns':>16}  {'ms':>12}  {'share':>7}")
+        lines.append(f"{'-' * (name_width - 2)}  "
+                     f"{'-' * 16}  {'-' * 12}  {'-' * 7}")
+        for name, nanos in rows:
+            share = (nanos / self.total_ns * 100.0) if self.total_ns else 0.0
+            lines.append(f"{name.ljust(name_width)}"
+                         f"{nanos:16.0f}  {nanos / 1e6:12.3f}  "
+                         f"{share:6.1f}%")
+        lines.append(f"{'TOTAL'.ljust(name_width)}"
+                     f"{self.total_ns:16.0f}  {self.total_ns / 1e6:12.3f}  "
+                     f"{100.0 if self.total_ns else 0.0:6.1f}%")
+        return "\n".join(lines)
+
+    def render_collapsed(self) -> str:
+        """Flamegraph collapsed-stack lines (``path ns``), sorted.
+
+        Zero-valued stacks (pure structural spans such as marks) are
+        skipped — flamegraph tooling ignores them anyway.
+        """
+        return "\n".join(
+            f"{path} {nanos:.0f}"
+            for path, nanos in sorted(self.stacks.items())
+            if nanos > 0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form with sorted keys."""
+        return {
+            "trials": self.trials,
+            "total_ns": self.total_ns,
+            "categories": {name: self.categories[name]
+                           for name in sorted(self.categories)},
+            "stacks": {path: self.stacks[path]
+                       for path in sorted(self.stacks)},
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")) + "\n"

@@ -106,6 +106,18 @@ class CostLedger:
             return None
         return max(self._charges, key=lambda cat: self._charges[cat])
 
+    def emit(self, sink, prefix: str = "ledger") -> None:
+        """Feed per-category totals into a metrics sink.
+
+        ``sink`` is duck-typed against the :mod:`repro.obs` sink
+        protocol (``sink.count(name, nanos)``); this layer must not
+        import upward.  Categories are emitted sorted by name so the
+        set of charged categories — not charge order — determines the
+        emission sequence.
+        """
+        for category in sorted(self._charges, key=lambda cat: cat.value):
+            sink.count(f"{prefix}.{category.value}", self._charges[category])
+
     def copy(self) -> "CostLedger":
         """An independent copy of this ledger."""
         clone = CostLedger()

@@ -90,6 +90,27 @@ class RunResult:
             payload["degraded"] = self.degraded
         return payload
 
+    def emit(self, sink, prefix: str = "run") -> None:
+        """Feed this result's measurements into a metrics sink.
+
+        ``sink`` is duck-typed against the :mod:`repro.obs` sink
+        protocol (``count`` / ``observe``); the tee layer sits below
+        the observability package and must not import it.  Metric
+        names are keyed by platform and secure/normal side so the
+        registry separates the paper's comparison axes.
+        """
+        side = "secure" if self.secure else "normal"
+        base = f"{prefix}.{self.platform}.{side}"
+        sink.count(f"{base}.trials", 1)
+        if self.degraded:
+            sink.count(f"{base}.degraded", 1)
+        if self.attempts > 1:
+            sink.count(f"{base}.retries", self.attempts - 1)
+        sink.observe(f"{base}.elapsed_ns", self.elapsed_ns)
+        sink.observe(f"{base}.total_ns", self.total_ns)
+        self.ledger.emit(sink, prefix=f"{base}.ledger")
+        self.counters.emit(sink, prefix=f"{base}.perf")
+
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunResult":
         """Rebuild a result from :meth:`to_dict` output (cache reload)."""

@@ -1,0 +1,71 @@
+"""PerfMonitor collection, including the missing-counter regression."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.monitor import (
+    HARDWARE_EVENTS,
+    SOFTWARE_EVENTS,
+    PerfMonitor,
+)
+from repro.errors import MonitorError
+
+
+def fake_platform(supports_counters):
+    info = SimpleNamespace(supports_perf_counters=supports_counters)
+    return SimpleNamespace(info=lambda: info)
+
+
+def fake_result(counters, elapsed_ns=1000.0):
+    return SimpleNamespace(
+        counters=SimpleNamespace(as_dict=lambda: dict(counters)),
+        elapsed_ns=elapsed_ns,
+    )
+
+
+class TestCollect:
+    def test_hardware_platform_reports_perf_stat(self):
+        monitor = PerfMonitor(platform=fake_platform(True))
+        counters = {key: index for index, key
+                    in enumerate(HARDWARE_EVENTS, start=1)}
+        report = monitor.collect(fake_result(counters))
+        assert report.source == "perf-stat"
+        assert report.events == counters
+        assert report.wallclock_ns == 1000.0
+
+    def test_software_platform_reports_custom_script(self):
+        monitor = PerfMonitor(platform=fake_platform(False))
+        report = monitor.collect(
+            fake_result({"context_switches": 3, "page_faults": 2,
+                         "instructions": 10**6}))
+        assert report.source == "custom-script"
+        assert set(report.events) == set(SOFTWARE_EVENTS)
+
+    def test_missing_counter_defaults_to_zero(self):
+        """Regression: a counter source lacking an event (older cache,
+        degraded run, synthetic result) must not raise KeyError."""
+        monitor = PerfMonitor(platform=fake_platform(True))
+        report = monitor.collect(fake_result({"instructions": 42}))
+        assert report.events["instructions"] == 42
+        assert report.events["bounce_buffer_bytes"] == 0
+        assert set(report.events) == set(HARDWARE_EVENTS)
+
+    def test_missing_counter_defaults_to_zero_software_path(self):
+        monitor = PerfMonitor(platform=fake_platform(False))
+        report = monitor.collect(fake_result({}))
+        assert report.events == {key: 0 for key in SOFTWARE_EVENTS}
+
+
+class TestCustomScripts:
+    def test_scripts_feed_extra(self):
+        monitor = PerfMonitor(platform=fake_platform(True))
+        monitor.register_script("double", lambda r: r.elapsed_ns * 2)
+        report = monitor.collect(fake_result({}, elapsed_ns=5.0))
+        assert report.extra == {"double": 10.0}
+
+    def test_duplicate_script_rejected(self):
+        monitor = PerfMonitor(platform=fake_platform(True))
+        monitor.register_script("x", lambda r: 0.0)
+        with pytest.raises(MonitorError, match="already registered"):
+            monitor.register_script("x", lambda r: 0.0)

@@ -1,0 +1,74 @@
+"""Serial vs parallel byte-identity for every telemetry export.
+
+The acceptance contract for the telemetry subsystem: running the same
+plan with ``--jobs N`` must produce metrics snapshots, Chrome traces
+and profiles byte-identical to a serial run.  These tests pin the
+invariant the CI determinism job checks end-to-end.
+"""
+
+import pytest
+
+from repro.core.runner import TrialPlan, TrialRunner
+from repro.obs.export import TraceExporter
+from repro.obs.profile import Profile
+
+
+def small_plan(trials=2, seed=7):
+    return TrialPlan.matrix(
+        kind="faas", platforms=("tdx",), workloads=("cpustress",),
+        runtimes=("lua",), trials=trials, seed=seed,
+    )
+
+
+def exports(runner):
+    exporter = TraceExporter.from_history(runner.history)
+    profile = Profile.from_history(runner.history)
+    return (runner.metrics.to_json(), exporter.to_chrome_json(),
+            exporter.to_jsonl(), profile.to_json())
+
+
+@pytest.fixture(scope="module")
+def serial_exports():
+    runner = TrialRunner()
+    runner.run(small_plan())
+    return exports(runner)
+
+
+class TestSerialParallelByteIdentity:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_all_exports_byte_identical(self, jobs, serial_exports):
+        parallel = TrialRunner(jobs=jobs)
+        parallel.run(small_plan())
+        assert exports(parallel) == serial_exports
+
+    def test_metrics_snapshot_has_run_streams(self, serial_exports):
+        import json
+
+        snapshot = json.loads(serial_exports[0])
+        counters = snapshot["counters"]
+        assert counters["runner.plans"] == 1
+        assert counters["runner.trials"] == 4      # 2 trials x 2 sides
+        assert counters["run.tdx.secure.trials"] == 2
+        assert counters["run.tdx.normal.trials"] == 2
+        assert "run.tdx.secure.elapsed_ns" in snapshot["histograms"]
+
+    def test_repeat_run_doubles_counters(self):
+        runner = TrialRunner()
+        runner.run(small_plan())
+        once = runner.metrics.snapshot()["counters"]["runner.trials"]
+        runner.run(small_plan())
+        assert (runner.metrics.snapshot()["counters"]["runner.trials"]
+                == 2 * once)
+
+
+class TestProfileLedgerInvariant:
+    def test_attribution_total_matches_run_ledgers(self):
+        runner = TrialRunner()
+        results = runner.run(small_plan())
+        profile = Profile.from_history(runner.history)
+        assert profile.total_ns == pytest.approx(
+            sum(r.ledger.total() for r in results))
+        assert sum(profile.categories.values()) == pytest.approx(
+            profile.total_ns)
+        assert sum(profile.stacks.values()) == pytest.approx(
+            profile.total_ns)

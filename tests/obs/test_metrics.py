@@ -1,0 +1,164 @@
+"""Tests for the deterministic metrics registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfBenchError
+from repro.obs.metrics import (
+    BUCKET_BOUNDS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_fractional_amounts_allowed(self):
+        counter = Counter("c")
+        counter.inc(0.5)
+        counter.inc(0.25)
+        assert counter.value == pytest.approx(0.75)
+
+    def test_negative_amount_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ConfBenchError, match="cannot add"):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_nan_amount_rejected(self):
+        with pytest.raises(ConfBenchError):
+            Counter("c").inc(float("nan"))
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1.0
+        assert isinstance(gauge.value, float)
+
+
+class TestHistogram:
+    def test_bounds_are_log_scale_and_sorted(self):
+        finite = BUCKET_BOUNDS_NS[:-1]
+        assert finite[0] == 1.0
+        assert BUCKET_BOUNDS_NS[-1] == math.inf
+        assert list(finite) == sorted(finite)
+        # three buckets per decade: bound[k+3] is one decade up
+        assert finite[3] == pytest.approx(10.0)
+        assert finite[6] == pytest.approx(100.0)
+
+    def test_observe_updates_count_and_sum(self):
+        histogram = Histogram("h")
+        histogram.observe(10)
+        histogram.observe(20)
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(30.0)
+
+    def test_le_bucketing_on_exact_bound(self):
+        """A sample equal to a bound lands in that bound's bucket."""
+        histogram = Histogram("h")
+        histogram.observe(10.0)
+        assert histogram.to_dict()["buckets"] == {"10": 1}
+
+    def test_bucket_between_bounds(self):
+        histogram = Histogram("h")
+        histogram.observe(1.5)     # 1 < 1.5 <= 10**(1/3) ~ 2.15443
+        (label,), (count,) = zip(*histogram.to_dict()["buckets"].items())
+        assert label == "2.15443"
+        assert count == 1
+
+    def test_overflow_goes_to_inf_bucket(self):
+        histogram = Histogram("h")
+        histogram.observe(1e13)    # beyond the last finite decade
+        assert histogram.to_dict()["buckets"] == {"+inf": 1}
+
+    def test_zero_lands_in_first_bucket(self):
+        histogram = Histogram("h")
+        histogram.observe(0)
+        assert histogram.to_dict()["buckets"] == {"1": 1}
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ConfBenchError, match="cannot observe"):
+            Histogram("h").observe(-1)
+
+    def test_to_dict_skips_empty_buckets(self):
+        histogram = Histogram("h")
+        histogram.observe(5)
+        histogram.observe(5)
+        payload = histogram.to_dict()
+        assert payload["count"] == 2
+        assert list(payload["buckets"].values()) == [2]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_sink_protocol(self):
+        registry = MetricsRegistry()
+        registry.count("hits")
+        registry.count("hits", 2)
+        registry.set_gauge("depth", 7)
+        registry.observe("lat", 123.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"] == {"depth": 7.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.count("zebra")
+        registry.count("alpha")
+        assert list(registry.snapshot()["counters"]) == ["alpha", "zebra"]
+
+    def test_to_json_independent_of_creation_order(self):
+        """Same metrics, different registration order → same bytes."""
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.count("b", 2)
+        first.observe("h", 10)
+        first.count("a", 1)
+        second.count("a", 1)
+        second.count("b", 2)
+        second.observe("h", 10)
+        assert first.to_json() == second.to_json()
+
+    def test_to_json_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        text = registry.to_json()
+        assert text.endswith("\n")
+        assert ": " not in text      # fixed separators, no pretty-print
+        assert json.loads(text)["counters"] == {"a": 1}
+
+    def test_len_counts_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.set_gauge("b", 1)
+        registry.observe("c", 1)
+        assert len(registry) == 3
+        assert "counters=1" in repr(registry)
+
+    def test_render_text_lists_every_metric(self):
+        registry = MetricsRegistry()
+        registry.count("runs", 4)
+        registry.set_gauge("depth", 2)
+        registry.observe("lat", 50)
+        text = registry.render_text()
+        assert "counter   runs = 4" in text
+        assert "gauge     depth = 2" in text
+        assert "histogram lat: count=1" in text
