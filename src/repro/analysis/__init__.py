@@ -7,7 +7,7 @@ orchestration above them.  Nothing in Python stops a contributor from
 calling ``time.time()`` inside a workload or importing ``repro.core``
 from ``repro.hw`` — one such slip silently turns bit-identical trials
 into flaky fig3–fig8 regressions.  This package catches that class of
-bug at lint time with three AST-based passes:
+bug at lint time with four AST-based passes:
 
 - :mod:`repro.analysis.determinism` — flags wall-clock and entropy
   escapes (``time.time``, ``datetime.now``, module-level ``random.*``,
@@ -19,6 +19,10 @@ bug at lint time with three AST-based passes:
 - :mod:`repro.analysis.purity` — walks the call graph from the trial
   pipeline's entry points (``execute_trial``, body factories) and
   flags mutation of module-level state inside reachable functions.
+- :mod:`repro.analysis.hotpath` — flags per-op charge loops inside
+  ``repro.tee`` / ``repro.guestos`` / ``repro.runtimes``, where the
+  batched op-stream kernel should be folding charges into one ledger
+  merge.
 
 Findings can be suppressed inline with ``# confbench: allow[<rule>]``
 pragmas (:mod:`repro.analysis.pragmas`) or grandfathered in a committed
@@ -42,6 +46,7 @@ from repro.analysis.core import (
 )
 from repro.analysis.determinism import DeterminismRule
 from repro.analysis.engine import LintReport, default_rules, run_lint
+from repro.analysis.hotpath import HotPathRule
 from repro.analysis.layering import LAYERS, LayeringRule
 from repro.analysis.purity import TrialPurityRule
 
@@ -51,6 +56,7 @@ __all__ = [
     "Baseline",
     "DeterminismRule",
     "Finding",
+    "HotPathRule",
     "LAYERS",
     "LayeringRule",
     "LintReport",

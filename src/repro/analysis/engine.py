@@ -17,13 +17,15 @@ from typing import Sequence
 from repro.analysis.baseline import Baseline
 from repro.analysis.core import Analyzer, Finding, Rule, load_project
 from repro.analysis.determinism import DeterminismRule
+from repro.analysis.hotpath import HotPathRule
 from repro.analysis.layering import LayeringRule
 from repro.analysis.purity import TrialPurityRule
 
 
 def default_rules() -> list[Rule]:
-    """The three contract-enforcing passes, in reporting order."""
-    return [DeterminismRule(), LayeringRule(), TrialPurityRule()]
+    """The four contract-enforcing passes, in reporting order."""
+    return [DeterminismRule(), LayeringRule(), TrialPurityRule(),
+            HotPathRule()]
 
 
 @dataclass

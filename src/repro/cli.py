@@ -408,13 +408,14 @@ def _cmd_lint(args) -> int:
     from repro.analysis import (
         Baseline,
         DeterminismRule,
+        HotPathRule,
         LayeringRule,
         TrialPurityRule,
         run_lint,
     )
 
     rule_classes = {"determinism": DeterminismRule, "layering": LayeringRule,
-                    "purity": TrialPurityRule}
+                    "purity": TrialPurityRule, "hotpath": HotPathRule}
     if args.rules:
         names = [name.strip() for name in args.rules.split(",") if name.strip()]
         unknown = [name for name in names if name not in rule_classes]

@@ -358,9 +358,10 @@ def _unixbench_body(spec: TrialSpec) -> Callable:
     from repro.workloads.unixbench import run_unixbench
 
     scale = spec.params.get("scale", 1.0)
+    engine = spec.params.get("engine", "batch")
 
     def body(kernel):
-        report = run_unixbench(kernel, scale=scale)
+        report = run_unixbench(kernel, scale=scale, engine=engine)
         return {
             "index": report.system_index,
             "tests": {s.key: s.elapsed_ns for s in report.scores},

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
 from repro.hw.machine import Machine
+from repro.hw.perfcounters import PerfCounters
 from repro.sim.clock import VirtualClock
 from repro.sim.ledger import CostCategory, CostLedger
+from repro.sim.opstream import BatchLedger, ChargePattern, Op, OpBatch
 from repro.sim.rng import SimRng
 
 
@@ -89,7 +92,7 @@ class CostProfile:
 NATIVE_PROFILE = CostProfile()
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecContext:
     """Binds machine + clock + ledger + rng + platform profile.
 
@@ -114,6 +117,13 @@ class ExecContext:
     #: :class:`repro.sim.faults.FaultContext`); consumers such as the
     #: PCS and the verifiers probe it for injected failures
     faults: "object | None" = None
+    _run_noise: float = field(init=False, repr=False)
+    _op_noise_sigma: float = field(init=False, repr=False)
+    _cache_bonus: float = field(init=False, repr=False)
+    #: op → (charge pattern, counter events) pricing memo; machine
+    #: models are pure and the run's cache bonus is fixed, so a given
+    #: op always prices the same within one context
+    _price_cache: dict = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._run_noise = self.rng.lognormal_factor(self.profile.noise_sigma)
@@ -123,6 +133,7 @@ class ExecContext:
             if self.rng.bernoulli(self.profile.cache_hit_bonus_probability)
             else 0.0
         )
+        self._price_cache = {}
 
     # -- internal ----------------------------------------------------
 
@@ -283,3 +294,180 @@ class ExecContext:
         if exclude_startup:
             return self.ledger.total_excluding(CostCategory.STARTUP)
         return self.ledger.total()
+
+    # -- batched execution --------------------------------------------
+
+    def batch(self) -> OpBatch:
+        """A fresh op batch to fill and pass to :meth:`run_batch`."""
+        return OpBatch()
+
+    def price_op(self, op: Op) -> tuple[ChargePattern, tuple]:
+        """Price one op: its ordered charge pattern + counter deltas.
+
+        The pattern lists ``(category, raw_ns)`` pairs in the exact
+        order the per-op method would charge them; raw values carry
+        the per-category multipliers but not the simulator/noise
+        factors (those are applied by the accumulate kernel).  Counter
+        deltas are ``(field, delta)`` pairs from pricing one
+        repetition against a scratch bundle.
+        """
+        cached = self._price_cache.get(op)
+        if cached is None:
+            cached = self._price_cache[op] = self._price_op(op)
+        return cached
+
+    def _price_op(self, op: Op) -> tuple[ChargePattern, tuple]:
+        profile = self.profile
+        scratch = PerfCounters()
+        charges: list[tuple[CostCategory, float]] = []
+        kind = op.kind
+        if kind == "cpu":
+            instructions, memory_references, working_set_bytes = op.args
+            cpu = self.machine.cpu
+            hit_rate = None
+            if self._cache_bonus:
+                base = cpu.cache.hit_rate(working_set_bytes)
+                hit_rate = min(1.0, base + self._cache_bonus)
+            compute_ns, memory_ns, misses = cpu.execute_split(
+                instructions,
+                scratch,
+                memory_references=memory_references,
+                working_set_bytes=working_set_bytes,
+                hit_rate_override=hit_rate,
+            )
+            charges.append((CostCategory.CPU,
+                            compute_ns * profile.cpu_multiplier))
+            mem_cost = memory_ns * profile.mem_access_multiplier
+            if profile.mem_encrypted:
+                mem_cost += misses * profile.mem_miss_extra_ns
+            if mem_cost > 0:
+                charges.append((CostCategory.MEM_ACCESS, mem_cost))
+        elif kind == "mem_alloc":
+            (nbytes,) = op.args
+            raw = self.machine.memory.allocate(
+                nbytes, scratch,
+                encrypted=profile.mem_encrypted,
+                integrity=profile.mem_integrity,
+            )
+            charges.append((CostCategory.MEM_ALLOC,
+                            raw * profile.mem_alloc_multiplier))
+        elif kind == "mem_copy":
+            (nbytes,) = op.args
+            raw = self.machine.memory.copy(
+                nbytes, scratch,
+                encrypted=profile.mem_encrypted,
+                integrity=profile.mem_integrity,
+            )
+            charges.append((CostCategory.MEM_ACCESS,
+                            raw * profile.mem_access_multiplier))
+        elif kind in ("disk_read", "disk_write"):
+            (nbytes,) = op.args
+            if kind == "disk_read":
+                raw = self.machine.disk.read(nbytes)
+                charges.append((CostCategory.IO_READ,
+                                raw * profile.io_read_multiplier))
+            else:
+                raw = self.machine.disk.write(nbytes)
+                charges.append((CostCategory.IO_WRITE,
+                                raw * profile.io_write_multiplier))
+            if profile.io_bounce_per_byte_ns > 0 and nbytes > 0:
+                scratch.bounce_buffer_bytes += nbytes
+                charges.append((CostCategory.BOUNCE_BUFFER,
+                                nbytes * profile.io_bounce_per_byte_ns))
+            if profile.io_transition_ns > 0:
+                scratch.vm_transitions += 1
+                charges.append((CostCategory.VM_TRANSITION,
+                                profile.io_transition_ns))
+        elif kind == "syscall":
+            (base_cost_ns,) = op.args
+            charges.append((CostCategory.SYSCALL,
+                            base_cost_ns * profile.syscall_multiplier))
+            if profile.syscall_transition_ns > 0:
+                scratch.vm_transitions += 1
+                charges.append((CostCategory.VM_TRANSITION,
+                                profile.syscall_transition_ns))
+        elif kind == "vm_transition":
+            (cost_ns,) = op.args
+            scratch.vm_transitions += 1
+            charges.append((CostCategory.VM_TRANSITION, cost_ns))
+        elif kind == "crypto":
+            (nanos,) = op.args
+            charges.append((CostCategory.CRYPTO, nanos))
+        elif kind == "network_ns":
+            (nanos,) = op.args
+            charges.append((CostCategory.NETWORK, nanos))
+        elif kind == "startup":
+            (nanos,) = op.args
+            charges.append((CostCategory.STARTUP, nanos))
+        elif kind == "event":
+            name, delta = op.args
+            setattr(scratch, name, getattr(scratch, name) + delta)
+        else:
+            raise SimulationError(f"unknown op kind: {kind!r}")
+        return tuple(charges), scratch.nonzero_events()
+
+    def replay_op(self, op: Op) -> float:
+        """Execute one op through the per-op methods (the slow path)."""
+        kind, args = op
+        if kind == "cpu":
+            return self.cpu_execute(*args)
+        if kind == "mem_alloc":
+            return self.mem_alloc(*args)
+        if kind == "mem_copy":
+            return self.mem_copy(*args)
+        if kind == "disk_read":
+            return self.disk_read(*args)
+        if kind == "disk_write":
+            return self.disk_write(*args)
+        if kind == "syscall":
+            return self.syscall_entry(*args)
+        if kind == "vm_transition":
+            return self.vm_transition(*args)
+        if kind == "crypto":
+            return self.crypto(*args)
+        if kind == "network_ns":
+            return self.charge_network(*args)
+        if kind == "startup":
+            return self.startup(*args)
+        if kind == "event":
+            name, delta = args
+            counters = self.machine.counters
+            setattr(counters, name, getattr(counters, name) + delta)
+            return 0.0
+        raise SimulationError(f"unknown op kind: {kind!r}")
+
+    def run_batch(self, batch: OpBatch) -> float:
+        """Execute an op batch; returns total charged nanoseconds.
+
+        The fast path prices each distinct op once, applies counter
+        deltas with exact integer multiplication, and folds all
+        charges through the accumulate kernel — byte-identical to
+        :meth:`replay_op`-ing every op (see :mod:`repro.sim.opstream`
+        for the contract).  When a continuous-monitoring observer is
+        attached it needs clock/ledger state *between* charges, so
+        execution falls back to the per-op path.
+        """
+        if self.on_charge is not None:
+            total = 0.0
+            for ops, count in batch.entries:  # confbench: allow[hot-path-per-op]
+                for _ in range(count):
+                    for op in ops:
+                        total += self.replay_op(op)
+            return total
+        counters = self.machine.counters
+        price = self.price_op
+        program: list[tuple[ChargePattern, int]] = []
+        for ops, count in batch.entries:
+            pattern: list[tuple[CostCategory, float]] = []
+            for op in ops:
+                charges, events = price(op)
+                pattern.extend(charges)
+                if events:
+                    counters.add_events(events, count)
+            if pattern:
+                program.append((tuple(pattern), count))
+        return BatchLedger(
+            self.ledger, self.clock,
+            self.profile.simulator_multiplier, self._run_noise,
+            self._op_noise_sigma, self.rng.raw_random(),
+        ).run(program)

@@ -32,9 +32,37 @@ class PerfCounters:
 
     def add(self, other: "PerfCounters") -> None:
         """Accumulate every counter from ``other`` into this bundle."""
-        for field_info in fields(self):
-            name = field_info.name
+        for name in _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def add_events(self, events, count: int = 1) -> None:
+        """Accumulate ``(name, delta)`` pairs, each multiplied by ``count``.
+
+        The batched kernel prices one repetition of an op into event
+        deltas and applies them for all repetitions in one call; the
+        arithmetic is integer, so the result equals ``count`` per-op
+        bumps exactly.
+        """
+        if count < 0:
+            raise HardwareError(f"negative event count: {count}")
+        for name, delta in events:
+            if delta < 0:
+                raise HardwareError(
+                    f"counter {name} delta is negative: {delta}")
+            setattr(self, name, getattr(self, name) + delta * count)
+
+    def nonzero_events(self) -> tuple[tuple[str, int], ...]:
+        """The nonzero counters as ``(name, value)`` pairs.
+
+        Pricing helpers run ops against a scratch bundle and capture
+        the resulting deltas in this compact form for
+        :meth:`add_events`.
+        """
+        return tuple(
+            (name, value)
+            for name in _COUNTER_FIELDS
+            if (value := getattr(self, name))
+        )
 
     def snapshot(self) -> "PerfCounters":
         """An independent copy (use with :meth:`delta` to bracket a run)."""
@@ -50,8 +78,7 @@ class PerfCounters:
             modelling bug (counters are monotonic).
         """
         result = PerfCounters()
-        for field_info in fields(self):
-            name = field_info.name
+        for name in _COUNTER_FIELDS:
             diff = getattr(self, name) - getattr(earlier, name)
             if diff < 0:
                 raise HardwareError(f"counter {name} went backwards by {-diff}")
@@ -60,8 +87,7 @@ class PerfCounters:
 
     def as_dict(self) -> dict[str, int]:
         """All counters as a plain dict (for JSON piggybacking)."""
-        return {field_info.name: getattr(self, field_info.name)
-                for field_info in fields(self)}
+        return {name: getattr(self, name) for name in _COUNTER_FIELDS}
 
     def emit(self, sink, prefix: str = "perf") -> None:
         """Feed every counter into a metrics sink.
@@ -70,10 +96,17 @@ class PerfCounters:
         protocol (``sink.count(name, value)``) — this layer sits below
         the observability package and must not import it.  Counter
         order is the field declaration order, which is fixed, so
-        emission is deterministic.
+        emission is deterministic.  Sinks providing ``count_many``
+        receive all counters in one coalesced call.
         """
-        for name, value in self.as_dict().items():
-            sink.count(f"{prefix}.{name}", value)
+        items = [(f"{prefix}.{name}", value)
+                 for name, value in self.as_dict().items()]
+        count_many = getattr(sink, "count_many", None)
+        if count_many is not None:
+            count_many(items)
+        else:
+            for name, value in items:
+                sink.count(name, value)
 
     def cache_miss_rate(self) -> float:
         """Cache misses per reference (0.0 when no references)."""
@@ -86,3 +119,9 @@ class PerfCounters:
         if self.cycles == 0:
             return 0.0
         return self.instructions / self.cycles
+
+
+#: Counter names in declaration order, resolved once — ``fields()``
+#: rebuilds its tuple on every call, which shows up on the hot path.
+_COUNTER_FIELDS: tuple[str, ...] = tuple(
+    field_info.name for field_info in fields(PerfCounters))

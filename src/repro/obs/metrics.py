@@ -36,7 +36,7 @@ from __future__ import annotations
 import json
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.errors import ConfBenchError
 
@@ -168,6 +168,23 @@ class MetricsRegistry:
     def count(self, name: str, amount: float = 1) -> None:
         """Add to the named counter (creating it at 0)."""
         self.counter(name).inc(amount)
+
+    def count_many(self, pairs: "Iterable[tuple[str, float]]") -> None:
+        """Add to many counters in one call (coalesced emission).
+
+        Equivalent to calling :meth:`count` per pair — same counters,
+        same totals, same snapshot bytes — but a batched result's
+        ledger/perf emission pays one dispatch instead of one per
+        metric.  Sinks advertise it by simply having the method; the
+        substrate ``emit`` hooks fall back to :meth:`count` loops when
+        a custom sink lacks it.
+        """
+        counters = self._counters
+        for name, amount in pairs:
+            metric = counters.get(name)
+            if metric is None:
+                metric = counters[name] = Counter(name)
+            metric.inc(amount)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set the named gauge."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.errors import RuntimeModelError
 from repro.guestos.kernel import GuestKernel
+from repro.sim.opstream import Op
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,9 @@ class RuntimeSession:
     it.  The stdout of a function (``log``) is written through the
     kernel so that logging-heavy workloads pay syscall costs.
     """
+
+    __slots__ = ("model", "kernel", "ctx", "units_executed", "heap_bytes",
+                 "gc_debt", "gc_runs", "stdout_lines", "_booted")
 
     def __init__(self, model: RuntimeModel, kernel: GuestKernel) -> None:
         self.model = model
@@ -201,6 +205,89 @@ class RuntimeSession:
         charged += self.ctx.mem_copy(len(payload))
         return charged
 
+    # -- batched operations --------------------------------------------------
+
+    def _compute_ops(self, units: int, working_set_bytes: int,
+                     ops: list) -> None:
+        """Record one ``compute`` call's ops, evolving session state.
+
+        The JIT-warmup factor, GC-debt accounting and heap tracking
+        are pure integer arithmetic independent of charging, so they
+        can run at record time; the appended ops then price exactly
+        like :meth:`compute` would have charged at this state.
+        """
+        if units < 0:
+            raise RuntimeModelError(f"negative compute units: {units}")
+        if units == 0:
+            return
+        factor = self._effective_factor(units)
+        ops.append(Op("cpu", (
+            int(units * factor),
+            int(units * self.model.mem_refs_per_unit),
+            working_set_bytes or self.heap_bytes,
+        )))
+        churn = int(units * self.model.alloc_bytes_per_unit)
+        if churn:
+            self._allocate_ops(churn, transient=True, ops=ops)
+        self.units_executed += units
+
+    def _allocate_ops(self, nbytes: int, transient: bool, ops: list) -> None:
+        """Record one ``_allocate_internal`` call's ops (incl. GC)."""
+        ops.append(Op("mem_alloc", (nbytes,)))
+        if not transient:
+            self.heap_bytes += nbytes
+        self.gc_debt += nbytes
+        if self.gc_debt >= self.model.gc_threshold_bytes:
+            self.gc_runs += 1
+            self.gc_debt = 0
+            scan_bytes = int(self.heap_bytes * self.model.gc_scan_fraction)
+            if scan_bytes > 0:
+                ops.append(Op("mem_copy", (scan_bytes,)))
+
+    def _log_ops(self, message: str, ops: list) -> None:
+        """Record one ``log`` call's ops, evolving session state."""
+        self.stdout_lines += 1
+        payload_len = len(message.encode())
+        self._compute_ops(8 + payload_len // 8, 0, ops)
+        ops.append(Op("syscall", (320.0,)))
+        ops.append(Op("mem_copy", (payload_len,)))
+
+    def compute_batch(self, units: int, count: int,
+                      working_set_bytes: int = 0) -> float:
+        """Run ``count`` identical ``compute`` calls as one batch.
+
+        JIT warmup and GC still evolve call by call — each repetition
+        is recorded at its own session state — but all charges fold
+        into one ledger merge.  Byte-identical to calling
+        :meth:`compute` ``count`` times.
+        """
+        self._require_booted()
+        if count < 0:
+            raise RuntimeModelError(f"negative call count: {count}")
+        batch = self.ctx.batch()
+        for _ in range(count):
+            ops: list = []
+            self._compute_ops(units, working_set_bytes, ops)
+            batch.add_seq(ops)
+        return self.ctx.run_batch(batch)
+
+    def log_batch(self, message: str, count: int) -> float:
+        """Write ``count`` identical lines to stdout as one batch."""
+        self._require_booted()
+        if count < 0:
+            raise RuntimeModelError(f"negative call count: {count}")
+        batch = self.ctx.batch()
+        for _ in range(count):
+            ops: list = []
+            self._log_ops(message, ops)
+            batch.add_seq(ops)
+        return self.ctx.run_batch(batch)
+
+    def batch(self) -> "SessionBatch":
+        """A staged recorder over compute/allocate/release/log."""
+        self._require_booted()
+        return SessionBatch(self)
+
     # -- file I/O passthrough ------------------------------------------------
 
     def write_file(self, path: str, data: bytes) -> int:
@@ -229,3 +316,54 @@ class RuntimeSession:
         """Remove an empty directory."""
         self._require_booted()
         self.kernel.sys_rmdir(path)
+
+
+class SessionBatch:
+    """Stages a mixed sequence of session operations for one batch.
+
+    Mirrors the session's per-op API (compute / allocate / release /
+    log); session state — heap, GC debt, JIT warmup, stdout count —
+    evolves at record time, and all charges fold into the ledger on
+    :meth:`commit`.  Byte-identical to issuing the same calls per op.
+    """
+
+    __slots__ = ("session", "batch")
+
+    def __init__(self, session: RuntimeSession) -> None:
+        self.session = session
+        self.batch = session.ctx.batch()
+
+    def compute(self, units: int, working_set_bytes: int = 0,
+                count: int = 1) -> "SessionBatch":
+        for _ in range(count):
+            ops: list = []
+            self.session._compute_ops(units, working_set_bytes, ops)
+            self.batch.add_seq(ops)
+        return self
+
+    def allocate(self, nbytes: int) -> "SessionBatch":
+        if nbytes < 0:
+            raise RuntimeModelError(f"negative allocation: {nbytes}")
+        ops: list = []
+        self.session._allocate_ops(nbytes, transient=False, ops=ops)
+        self.batch.add_seq(ops)
+        return self
+
+    def release(self, nbytes: int) -> "SessionBatch":
+        if nbytes < 0:
+            raise RuntimeModelError(f"negative release: {nbytes}")
+        self.session.heap_bytes = max(0, self.session.heap_bytes - nbytes)
+        return self
+
+    def log(self, message: str, count: int = 1) -> "SessionBatch":
+        for _ in range(count):
+            ops: list = []
+            self.session._log_ops(message, ops)
+            self.batch.add_seq(ops)
+        return self
+
+    def commit(self) -> float:
+        """Run the staged ops; returns total charged nanoseconds."""
+        total = self.session.ctx.run_batch(self.batch)
+        self.batch = self.session.ctx.batch()
+        return total

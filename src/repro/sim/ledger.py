@@ -16,7 +16,14 @@ from repro.errors import SimulationError
 
 
 class CostCategory(enum.Enum):
-    """Where simulated time is spent."""
+    """Where simulated time is spent.
+
+    Members hash by identity (they are singletons and plain ``Enum``
+    equality already is identity); the default ``Enum.__hash__`` is a
+    Python-level call that dominates dict lookups on the charge path.
+    """
+
+    __hash__ = object.__hash__
 
     CPU = "cpu"                    # pure computation
     MEM_ALLOC = "mem_alloc"        # allocation (incl. GC pressure)
@@ -89,6 +96,25 @@ class CostLedger:
         for category, nanos in other._charges.items():
             self._charges[category] = self._charges.get(category, 0.0) + nanos
 
+    def apply_batch(self, items) -> None:
+        """Overwrite per-category totals with batch-fold results.
+
+        ``items`` is an ordered iterable of ``(category, new_total)``
+        pairs as produced by :func:`repro.sim.opstream.accumulate`:
+        each total is the left fold of that category's charges over the
+        existing ledger value, so assignment (not addition) keeps the
+        result bit-identical to charging per op.  Categories already
+        present keep their dict position; new ones append in
+        first-charge order — the same insertion order per-op charging
+        would produce.
+        """
+        charges = self._charges
+        for category, total in items:
+            if not total >= 0:
+                raise SimulationError(
+                    f"cannot set {total!r} ns for {category}")
+            charges[category] = total
+
     def breakdown(self) -> Mapping[CostCategory, float]:
         """A read-only snapshot of per-category totals."""
         return dict(self._charges)
@@ -113,10 +139,20 @@ class CostLedger:
         protocol (``sink.count(name, nanos)``); this layer must not
         import upward.  Categories are emitted sorted by name so the
         set of charged categories — not charge order — determines the
-        emission sequence.
+        emission sequence.  Sinks providing ``count_many`` receive the
+        whole breakdown in one coalesced call (same totals, same
+        order, fewer dispatches).
         """
-        for category in sorted(self._charges, key=lambda cat: cat.value):
-            sink.count(f"{prefix}.{category.value}", self._charges[category])
+        items = [
+            (f"{prefix}.{category.value}", self._charges[category])
+            for category in sorted(self._charges, key=lambda cat: cat.value)
+        ]
+        count_many = getattr(sink, "count_many", None)
+        if count_many is not None:
+            count_many(items)
+        else:
+            for name, nanos in items:
+                sink.count(name, nanos)
 
     def copy(self) -> "CostLedger":
         """An independent copy of this ledger."""

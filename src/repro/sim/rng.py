@@ -78,6 +78,17 @@ class SimRng:
         """A normal draw."""
         return self._random.gauss(mu, sigma)
 
+    def raw_random(self) -> random.Random:
+        """The underlying ``random.Random``, for hot batch kernels.
+
+        :func:`repro.sim.opstream.accumulate` inlines ``Random.gauss``
+        (same Box-Muller recurrence, same ``gauss_next`` pair cache on
+        this instance), so draws stay bit-identical to the method
+        calls this wrapper makes — callers must preserve that
+        recurrence exactly, never substitute a different generator.
+        """
+        return self._random
+
     def lognormal_factor(self, sigma: float) -> float:
         """A multiplicative noise factor with median 1.0.
 

@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.guestos.context import ExecContext
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One traced phase of a run.
 
@@ -76,7 +76,7 @@ def _breakdown_delta(before: CostLedger, after: CostLedger) -> dict[str, float]:
     return delta
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """An ordered collection of spans attached to one run."""
 

@@ -88,7 +88,7 @@ class RealmManagementMonitor:
 
     def rmi_realm_create(self, identity: str) -> tuple[Realm, float]:
         """RMI_REALM_CREATE: make a new realm in state NEW."""
-        self.stats.rmi_calls += 1
+        self.stats.record("rmi_calls")
         realm = Realm(rid=self._next_rid, identity=identity)
         realm.measurement = hashlib.sha384(
             f"realm-initial:{identity}".encode()
@@ -99,7 +99,7 @@ class RealmManagementMonitor:
 
     def rmi_granule_delegate(self, rid: int, granules: int) -> float:
         """RMI_GRANULE_DELEGATE: move pages into the realm PAS."""
-        self.stats.rmi_calls += 1
+        self.stats.record("rmi_calls")
         realm = self._get(rid)
         if realm.state is RealmState.DESTROYED:
             raise TeeError(f"realm {rid} destroyed")
@@ -110,7 +110,7 @@ class RealmManagementMonitor:
 
     def rmi_realm_activate(self, rid: int) -> float:
         """RMI_REALM_ACTIVATE: seal the measurement, allow execution."""
-        self.stats.rmi_calls += 1
+        self.stats.record("rmi_calls")
         realm = self._get(rid)
         if realm.state is not RealmState.NEW:
             raise TeeError(f"realm {rid} cannot activate from {realm.state.value}")
@@ -119,7 +119,7 @@ class RealmManagementMonitor:
 
     def rmi_realm_destroy(self, rid: int) -> float:
         """RMI_REALM_DESTROY: tear the realm down, reclaim granules."""
-        self.stats.rmi_calls += 1
+        self.stats.record("rmi_calls")
         realm = self._get(rid)
         if realm.state is RealmState.DESTROYED:
             raise TeeError(f"realm {rid} already destroyed")
@@ -136,7 +136,7 @@ class RealmManagementMonitor:
         key to sign with (the paper leaves CCA out of the attestation
         experiment for exactly this reason).
         """
-        self.stats.rsi_calls += 1
+        self.stats.record("rsi_calls")
         realm = self._get(rid)
         if realm.state is not RealmState.ACTIVE:
             raise TeeError(f"realm {rid} not active")
@@ -152,7 +152,7 @@ class RealmManagementMonitor:
 
     def rsi_ipa_state_set(self, rid: int, pages: int) -> float:
         """RSI_IPA_STATE_SET: realm changes page protection (stage 2)."""
-        self.stats.rsi_calls += 1
+        self.stats.record("rsi_calls")
         realm = self._get(rid)
         if realm.state is not RealmState.ACTIVE:
             raise TeeError(f"realm {rid} not active")

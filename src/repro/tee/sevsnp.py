@@ -153,9 +153,7 @@ class AmdSecureProcessor:
             raise TeeError(
                 f"report_data must be <= 64 bytes, got {len(request.report_data)}"
             )
-        self.stats.extra["report_requests"] = (
-            self.stats.extra.get("report_requests", 0) + 1
-        )
+        self.stats.record("report_requests")
         return {
             "measurement": self.measurement_for(guest_identity),
             "report_data": request.report_data.ljust(64, b"\0"),

@@ -75,22 +75,26 @@ class TdxModule:
         """Cost of one world switch under the loaded firmware."""
         return self.BASE_TRANSITION_NS * _FIRMWARE_TRANSITION_FACTOR[self.firmware]
 
-    def tdcall(self, leaf: str) -> float:
-        """A TD requesting a module service (SEAM non-root -> root)."""
-        self.stats.tdcalls += 1
-        self.stats.extra[leaf] = self.stats.extra.get(leaf, 0) + 1
-        return self.transition_cost_ns
+    def tdcall(self, leaf: str, count: int = 1) -> float:
+        """TD(s) requesting a module service (SEAM non-root -> root).
 
-    def seamcall(self, leaf: str) -> float:
+        ``count > 1`` records a batch of identical calls in one
+        bookkeeping step; the returned cost covers the whole batch.
+        """
+        self.stats.record("tdcalls", count)
+        self.stats.record(leaf, count)
+        return self.transition_cost_ns * count
+
+    def seamcall(self, leaf: str, count: int = 1) -> float:
         """The hypervisor calling into the module (VMX root -> SEAM)."""
-        self.stats.seamcalls += 1
-        self.stats.extra[leaf] = self.stats.extra.get(leaf, 0) + 1
-        return self.transition_cost_ns
+        self.stats.record("seamcalls", count)
+        self.stats.record(leaf, count)
+        return self.transition_cost_ns * count
 
-    def seamret(self) -> float:
+    def seamret(self, count: int = 1) -> float:
         """The module returning to the hypervisor."""
-        self.stats.seamrets += 1
-        return self.transition_cost_ns * 0.5
+        self.stats.record("seamrets", count)
+        return self.transition_cost_ns * 0.5 * count
 
     def generate_tdreport(self, report_data: bytes, td_identity: str) -> TdReport:
         """TDG.MR.REPORT: produce a TDREPORT bound to ``report_data``.

@@ -40,6 +40,12 @@ class VmState(enum.Enum):
     DESTROYED = "destroyed"
 
 
+#: Memoized category lookup for :meth:`RunResult.from_dict` — the enum
+#: constructor's value lookup costs a call per record, and cache/journal
+#: reloads rebuild thousands of results.
+_CATEGORY_BY_NAME = {category.value: category for category in CostCategory}
+
+
 @dataclass
 class RunResult:
     """Outcome of one workload run in one VM."""
@@ -116,7 +122,11 @@ class RunResult:
         """Rebuild a result from :meth:`to_dict` output (cache reload)."""
         ledger = CostLedger()
         for name, nanos in payload.get("cost_breakdown", {}).items():
-            ledger.charge(CostCategory(name), nanos)
+            category = _CATEGORY_BY_NAME.get(name)
+            if category is None:
+                raise VmError(f"unknown cost category in payload: {name!r}")
+            # cold path: one charge per serialized category, not per op
+            ledger.charge(category, nanos)  # confbench: allow[hot-path-per-op]
         trace = Trace()
         for span in payload.get("trace", []):
             trace.record(span["name"], span["start_ns"], span["end_ns"],

@@ -23,15 +23,20 @@ def iostress(session: RuntimeSession, args: dict[str, Any]) -> dict[str, int]:
     file_bytes = int(args["file_bytes"])
     files = int(args["files"])
     block = b"\x5a" * 65536
+    full_blocks, tail = divmod(file_bytes, len(block))
     written = 0
+    kernel = session.kernel
     for index in range(files):
         path = f"/iostress-{index}.bin"
-        remaining = file_bytes
         session.write_file(path, b"")   # creates the file
-        while remaining > 0:
-            chunk = block[: min(len(block), remaining)]
-            written += session.kernel.sys_write(path, chunk)
-            remaining -= len(chunk)
+        # functional append once; charges batched per chunk below
+        kernel.fs.write(path, block * full_blocks + block[:tail], None)
+        written += file_bytes
+        kb = kernel.batch()
+        kb.repeat(kb.seq().write(len(block)), full_blocks)
+        if tail:
+            kb.repeat(kb.seq().write(tail))
+        kb.commit()
         session.delete_file(path)
     return {"files": files, "bytes_written": written}
 
@@ -39,8 +44,10 @@ def iostress(session: RuntimeSession, args: dict[str, Any]) -> dict[str, int]:
 def logging_workload(session: RuntimeSession, args: dict[str, Any]) -> dict[str, int]:
     """Print a large number of messages (paper default: 3000)."""
     messages = int(args["messages"])
+    batch = session.batch()
     for i in range(messages):
-        session.log(f"[{i:06d}] request handled status=200 latency_ms=1.5")
+        batch.log(f"[{i:06d}] request handled status=200 latency_ms=1.5")
+    batch.commit()
     return {"messages": messages, "stdout_lines": session.stdout_lines}
 
 
@@ -163,7 +170,7 @@ def html_render(session: RuntimeSession, args: dict[str, Any]) -> dict[str, int]
     cells = []
     for i in range(rows):
         cells.append(f"<tr><td>{i}</td><td>item-{i}</td><td>{i * 3.14:.2f}</td></tr>")
-        session.compute(60)
+    session.compute_batch(60, rows)
     page = "<table>" + "".join(cells) + "</table>"
     session.allocate(len(page))
     session.write_file("/render.html", page.encode())

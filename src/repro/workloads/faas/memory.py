@@ -20,13 +20,15 @@ def memstress(session: RuntimeSession, args: dict[str, Any]) -> dict[str, int]:
     buffer_bytes = int(args["buffer_bytes"])
     count = int(args["count"])
     checksum = 0
+    batch = session.batch()
     for i in range(count):
-        session.allocate(buffer_bytes)
+        batch.allocate(buffer_bytes)
         # touch the buffer: one pass of writes
-        session.compute(buffer_bytes // 512,
-                        working_set_bytes=buffer_bytes)
+        batch.compute(buffer_bytes // 512,
+                      working_set_bytes=buffer_bytes)
         checksum = (checksum + i * buffer_bytes) % (2 ** 31)
-        session.release(buffer_bytes)
+        batch.release(buffer_bytes)
+    batch.commit()
     return {"allocated_mb": count * buffer_bytes // (1 << 20),
             "checksum": checksum}
 
@@ -82,12 +84,14 @@ def string_concat(session: RuntimeSession, args: dict[str, Any]) -> dict[str, in
     piece = "confidential-computing-"
     parts = []
     total_len = 0
+    batch = session.batch()
     for i in range(rounds):
         fragment = f"{piece}{i}"
         parts.append(fragment)
         total_len += len(fragment)
-        session.allocate(len(fragment) * 2)   # str object + copy
-        session.release(len(fragment))
+        batch.allocate(len(fragment) * 2)   # str object + copy
+        batch.release(len(fragment))
+    batch.commit()
     result = "".join(parts)
     session.compute(total_len // 4, working_set_bytes=total_len)
     return {"rounds": rounds, "length": len(result)}
@@ -119,15 +123,17 @@ def json_serde(session: RuntimeSession, args: dict[str, Any]) -> dict[str, int]:
         "nested": {"values": list(range(40)), "flag": True},
     }
     size = 0
+    batch = session.batch()
     for _ in range(rounds):
         text = json.dumps(document)
         parsed = json.loads(text)
         size = len(text)
-        session.allocate(size * 3)     # text + token + object tree
-        session.compute(size * 6, working_set_bytes=size * 3)
-        session.release(size * 3)
+        batch.allocate(size * 3)     # text + token + object tree
+        batch.compute(size * 6, working_set_bytes=size * 3)
+        batch.release(size * 3)
         if parsed["id"] != 42:
             raise AssertionError("round-trip corrupted the document")
+    batch.commit()
     return {"rounds": rounds, "doc_bytes": size}
 
 

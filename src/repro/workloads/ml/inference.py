@@ -50,24 +50,29 @@ def classify_image(
     """Classify one staged image, charging all costs to the VM."""
     start = kernel.ctx.elapsed_ns()
 
-    # ~1 MB from the page cache (staged just before; hot in memory)
-    raw = kernel.sys_read(staged_path, cached=True)
+    # the forward pass is pure; all charges batch into one ledger merge
+    raw = kernel.fs.read(staged_path, 0, None)
     pixels = len(raw) // 3
-    kernel.ctx.cpu_execute(
+    label, confidence, macs = model.classify(item.image)
+    activation_bytes = model.input_size * model.input_size * 8 * 4
+
+    kb = kernel.batch()
+    seq = kb.seq()
+    # ~1 MB from the page cache (staged just before; hot in memory)
+    seq.read(len(raw), cached=True)
+    seq.cpu_execute(
         int(pixels * _DECODE_INSTR_PER_PIXEL),
         memory_references=pixels // 4,
         working_set_bytes=len(raw),
     )
-
-    label, confidence, macs = model.classify(item.image)
-
-    activation_bytes = model.input_size * model.input_size * 8 * 4
-    kernel.ctx.mem_alloc(activation_bytes)
-    kernel.ctx.cpu_execute(
+    seq.mem_alloc(activation_bytes)
+    seq.cpu_execute(
         int(macs * _INSTRUCTIONS_PER_MAC),
         memory_references=int(macs * _MEM_REFS_PER_MAC),
         working_set_bytes=activation_bytes,
     )
+    kb.repeat(seq)
+    kb.commit()
 
     return InferenceResult(
         index=item.index,

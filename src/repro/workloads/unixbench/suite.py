@@ -14,11 +14,17 @@ from dataclasses import dataclass, field
 
 from repro.errors import WorkloadError
 from repro.guestos.kernel import GuestKernel
+from repro.guestos.syscalls import SyscallKind
 from repro.workloads.unixbench.index import (
     BASELINE_SCORES,
     index_for,
     system_index,
 )
+
+#: Simulation engines: ``batch`` stages each test's hot loop as one
+#: op batch (the fast path); ``perop`` issues every syscall
+#: individually (the legacy path, kept for equivalence testing).
+ENGINES = ("batch", "perop")
 
 
 @dataclass(frozen=True)
@@ -53,9 +59,11 @@ class UnixBenchReport:
 class _Bench:
     """Helper: run one measured section against the kernel."""
 
-    def __init__(self, kernel: GuestKernel, scale: float) -> None:
+    def __init__(self, kernel: GuestKernel, scale: float,
+                 engine: str = "batch") -> None:
         self.kernel = kernel
         self.scale = scale
+        self.engine = engine
         self.report = UnixBenchReport()
 
     def _record(self, key: str, operations: int, elapsed_ns: float,
@@ -112,8 +120,13 @@ class _Bench:
     def syscall(self) -> None:
         loops = int(1500 * self.scale)
         start = self._measured()
-        for _ in range(loops):
-            self.kernel.sys_getpid()
+        if self.engine == "batch":
+            kb = self.kernel.batch()
+            kb.repeat(kb.seq().syscall(SyscallKind.GETPID), loops)
+            kb.commit()
+        else:
+            for _ in range(loops):  # confbench: allow[hot-path-per-op]
+                self.kernel.sys_getpid()
         self._record("syscall", loops, self._measured() - start)
 
     def pipe(self) -> None:
@@ -121,15 +134,35 @@ class _Bench:
         pipe = self.kernel.make_pipe()
         payload = b"x" * 512
         start = self._measured()
-        for _ in range(loops):
-            self.kernel.sys_pipe_write(pipe, payload)
-            self.kernel.sys_pipe_read(pipe, 512)
+        if self.engine == "batch":
+            # the pipe drains every iteration, so one functional
+            # round-trip proves the transfer; charges batch as
+            # (write, read) x loops
+            accepted = pipe.write(payload)
+            if pipe.read(accepted) != payload:
+                raise WorkloadError("pipe transfer corrupted")
+            kb = self.kernel.batch()
+            kb.repeat(kb.seq().pipe_write(512).pipe_read(512), loops)
+            kb.commit()
+        else:
+            for _ in range(loops):  # confbench: allow[hot-path-per-op]
+                self.kernel.sys_pipe_write(pipe, payload)
+                self.kernel.sys_pipe_read(pipe, 512)
         self._record("pipe", loops, self._measured() - start)
 
     def context1(self) -> None:
         rounds = int(250 * self.scale)
         start = self._measured()
-        self.kernel.pipe_ping_pong(rounds, payload=128)
+        if self.engine == "batch":
+            kb = self.kernel.batch()
+            kb.repeat(
+                kb.seq().pipe_write(128).context_switch()
+                        .pipe_read(128).context_switch(),
+                rounds,
+            )
+            kb.commit()
+        else:
+            self.kernel.pipe_ping_pong(rounds, payload=128)
         self._record("context1", rounds, self._measured() - start)
 
     # -- process tests -------------------------------------------------------------
@@ -137,43 +170,119 @@ class _Bench:
     def spawn(self) -> None:
         loops = int(50 * self.scale)
         start = self._measured()
-        for _ in range(loops):
-            child = self.kernel.sys_fork("child")
-            self.kernel.sys_exit(child.pid, 0)
-            self.kernel.sys_wait()
+        if self.engine == "batch":
+            kb = self.kernel.batch()
+            kb.repeat(
+                kb.seq().fork().syscall(SyscallKind.EXIT)
+                        .syscall(SyscallKind.WAIT),
+                loops,
+            )
+            kb.commit()
+            self._spawn_processes(loops, "child")
+        else:
+            for _ in range(loops):  # confbench: allow[hot-path-per-op]
+                child = self.kernel.sys_fork("child")
+                self.kernel.sys_exit(child.pid, 0)
+                self.kernel.sys_wait()
         self._record("spawn", loops, self._measured() - start)
 
     def execl(self) -> None:
         loops = int(30 * self.scale)
         start = self._measured()
-        for index in range(loops):
-            child = self.kernel.sys_fork("execl-host")
-            self.kernel.sys_exec(child.pid, f"/bin/prog{index % 3}")
-            self.kernel.sys_exit(child.pid, 0)
-            self.kernel.sys_wait()
+        if self.engine == "batch":
+            kb = self.kernel.batch()
+            kb.repeat(
+                kb.seq().fork().exec().syscall(SyscallKind.EXIT)
+                        .syscall(SyscallKind.WAIT),
+                loops,
+            )
+            kb.commit()
+            self._spawn_processes(loops, "execl-host",
+                                  exec_name="/bin/prog{}")
+        else:
+            for index in range(loops):  # confbench: allow[hot-path-per-op]
+                child = self.kernel.sys_fork("execl-host")
+                self.kernel.sys_exec(child.pid, f"/bin/prog{index % 3}")
+                self.kernel.sys_exit(child.pid, 0)
+                self.kernel.sys_wait()
         self._record("execl", loops, self._measured() - start)
+
+    def _spawn_processes(self, loops: int, name: str,
+                         exec_name: str | None = None) -> None:
+        """The functional process-table work of a fork/exec/exit loop.
+
+        The batched tests charge the whole loop in one fold, then run
+        the uncharged process-table mutations here so the table (pid
+        counter, reaped children) ends in the same state as the
+        per-op path.
+        """
+        table = self.kernel.processes
+        parent = self.kernel.scheduler.current_pid
+        for index in range(loops):
+            child = table.fork(parent, name)
+            if exec_name is not None:
+                table.exec(child.pid, exec_name.format(index % 3))
+            table.exit(child.pid, 0)
+            table.wait(parent)
 
     def shell1(self) -> None:
         """Shell-script style: spawn a small pipeline, do file work."""
         loops = int(12 * self.scale)
         start = self._measured()
-        for index in range(loops):
-            pids = []
-            for stage in ("sort", "grep", "tee"):
-                child = self.kernel.sys_fork(stage)
-                self.kernel.sys_exec(child.pid, f"/bin/{stage}")
-                pids.append(child.pid)
-            path = f"/tmp-shell-{index}"
-            self.kernel.sys_create(path)
-            self.kernel.sys_write(path, b"line\n" * 100)
-            self.kernel.sys_read(path)
-            self.kernel.sys_unlink(path)
-            for pid in pids:
-                self.kernel.sys_exit(pid, 0)
-                self.kernel.sys_wait()
+        if self.engine == "batch":
+            self._shell1_batch(loops)
+        else:
+            for index in range(loops):  # confbench: allow[hot-path-per-op]
+                pids = []
+                for stage in ("sort", "grep", "tee"):
+                    child = self.kernel.sys_fork(stage)
+                    self.kernel.sys_exec(child.pid, f"/bin/{stage}")
+                    pids.append(child.pid)
+                path = f"/tmp-shell-{index}"
+                self.kernel.sys_create(path)
+                self.kernel.sys_write(path, b"line\n" * 100)
+                self.kernel.sys_read(path)
+                self.kernel.sys_unlink(path)
+                for pid in pids:
+                    self.kernel.sys_exit(pid, 0)
+                    self.kernel.sys_wait()
         elapsed = self._measured() - start
         # shell scripts are scored in loops per *minute*
         self._record("shell1", loops, elapsed, scale_score=60.0)
+
+    def _shell1_batch(self, loops: int) -> None:
+        """shell1's loop body charges one repeated pattern per loop."""
+        payload = b"line\n" * 100
+        kb = self.kernel.batch()
+        seq = kb.seq()
+        for _ in ("sort", "grep", "tee"):
+            seq.fork().exec()
+        seq.syscall(SyscallKind.CREATE).disk_write(4096)
+        seq.write(len(payload))
+        seq.read(len(payload))
+        seq.syscall(SyscallKind.UNLINK).disk_write(4096)
+        for _ in ("sort", "grep", "tee"):
+            seq.syscall(SyscallKind.EXIT).syscall(SyscallKind.WAIT)
+        kb.repeat(seq, loops)
+        kb.commit()
+        # the uncharged functional work, loop by loop
+        fs = self.kernel.fs
+        table = self.kernel.processes
+        parent = self.kernel.scheduler.current_pid
+        for index in range(loops):
+            pids = []
+            for stage in ("sort", "grep", "tee"):
+                child = table.fork(parent, stage)
+                table.exec(child.pid, f"/bin/{stage}")
+                pids.append(child.pid)
+            path = f"/tmp-shell-{index}"
+            fs.create(path)
+            fs.write(path, payload, None)
+            fs.read(path, 0, None)
+            fs.unlink(path)
+            for pid in pids:
+                table.exit(pid, 0)
+                table.wait(parent)
 
     # -- file copy tests ------------------------------------------------------------
 
@@ -184,10 +293,19 @@ class _Bench:
         self.kernel.sys_create(dest)
         start = self._measured()
         copied = 0
-        for block in range(blocks):
-            chunk = self.kernel.sys_read(source, offset=block * bufsize,
-                                         length=bufsize)
-            copied += self.kernel.sys_write(dest, chunk)
+        if self.engine == "batch":
+            kb = self.kernel.batch()
+            kb.repeat(kb.seq().read(bufsize).write(bufsize), blocks)
+            kb.commit()
+            # functional copy in one sweep: appending the whole file
+            # leaves dest byte-equal to blocks per-block appends
+            data = self.kernel.fs.read(source, 0, None)
+            copied = self.kernel.fs.write(dest, data, None)
+        else:
+            for block in range(blocks):  # confbench: allow[hot-path-per-op]
+                chunk = self.kernel.sys_read(source, offset=block * bufsize,
+                                             length=bufsize)
+                copied += self.kernel.sys_write(dest, chunk)
         elapsed = self._measured() - start
         # scored in KB copied per second
         self._record(key, blocks, elapsed,
@@ -207,15 +325,20 @@ class _Bench:
         self._fscopy("fscopy4096", 4096, int(50 * self.scale))
 
 
-def run_unixbench(kernel: GuestKernel, scale: float = 1.0) -> UnixBenchReport:
+def run_unixbench(kernel: GuestKernel, scale: float = 1.0,
+                  engine: str = "batch") -> UnixBenchReport:
     """Run the single-threaded suite; returns per-test scores + index.
 
     ``scale`` shrinks/grows iteration counts uniformly (it cancels in
-    secure/normal comparisons).
+    secure/normal comparisons).  ``engine`` selects the batched fast
+    path (default) or the legacy per-op path; scores are byte-
+    identical between the two.
     """
     if scale <= 0:
         raise WorkloadError(f"scale must be positive: {scale}")
-    bench = _Bench(kernel, scale)
+    if engine not in ENGINES:
+        raise WorkloadError(f"unknown engine {engine!r} (have: {ENGINES})")
+    bench = _Bench(kernel, scale, engine)
     bench.dhry2()
     bench.whetstone()
     bench.syscall()
