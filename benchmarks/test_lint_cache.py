@@ -1,0 +1,47 @@
+"""Bench — warm lint cache vs cold over the real tree.
+
+``confbench lint --cache`` exists so CI and pre-commit hooks pay the
+full six-pass analysis cost only when files actually change.  This
+bench runs the complete rule set over ``src/repro`` cold (empty
+cache), then warm (same tree, populated cache), asserts the outputs
+are byte-identical, and requires the warm run to actually be served
+from the cache (zero misses) and to beat the cold run's wall clock.
+
+The speedup assertion is deliberately loose (warm <= cold): absolute
+timings are machine-bound, and the correctness half — identical
+renderings, all-hit second run — is the part that must never regress.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+TREE = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def test_warm_cache_is_all_hits_and_byte_identical(tmp_path, capsys):
+    cache = tmp_path / "lint-cache.json"
+
+    t0 = time.perf_counter()
+    cold = run_lint([TREE], cache_path=cache)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_lint([TREE], cache_path=cache)
+    warm_s = time.perf_counter() - t0
+
+    assert cold.cache_misses > 0
+    assert warm.cache_misses == 0 and warm.cache_hits > 0
+    assert warm.render_text() == cold.render_text()
+    assert warm.render_json() == cold.render_json()
+    assert warm.render_sarif() == cold.render_sarif()
+    assert warm_s <= cold_s
+
+    with capsys.disabled():
+        print(f"\nlint cache: cold {cold_s:.2f}s "
+              f"({cold.cache_misses} misses) -> warm {warm_s:.2f}s "
+              f"({warm.cache_hits} hits), "
+              f"{cold_s / max(warm_s, 1e-9):.1f}x")

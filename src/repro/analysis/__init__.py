@@ -23,6 +23,18 @@ bug at lint time with four AST-based passes:
   ``repro.tee`` / ``repro.guestos`` / ``repro.runtimes``, where the
   batched op-stream kernel should be folding charges into one ledger
   merge.
+- :mod:`repro.analysis.taint` — interprocedural forward taint on the
+  :mod:`repro.analysis.dataflow` call graph: key material and guest
+  plaintext must not reach relay sends, REST bodies, journal records,
+  telemetry, logs, or exception messages un-digested.
+- :mod:`repro.analysis.concurrency` — lock discipline for the
+  threaded modules: attributes written under ``with self._lock:`` are
+  guarded, unguarded access and ABBA acquisition orders are findings.
+
+The cross-module passes share :mod:`repro.analysis.dataflow` (symbol
+index, call graph, import graph); :mod:`repro.analysis.cache` keys
+their results by content hashes so warm lint runs only re-analyze
+what changed.
 
 Findings can be suppressed inline with ``# confbench: allow[<rule>]``
 pragmas (:mod:`repro.analysis.pragmas`) or grandfathered in a committed
@@ -35,6 +47,8 @@ tree without importing it.
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.concurrency import LockDisciplineRule
 from repro.analysis.core import (
     AnalysisError,
     Analyzer,
@@ -45,25 +59,38 @@ from repro.analysis.core import (
     SourceModule,
 )
 from repro.analysis.determinism import DeterminismRule
-from repro.analysis.engine import LintReport, default_rules, run_lint
+from repro.analysis.engine import (
+    PASS_SCHEMA,
+    RULE_REGISTRY,
+    LintReport,
+    default_rules,
+    run_lint,
+)
 from repro.analysis.hotpath import HotPathRule
 from repro.analysis.layering import LAYERS, LayeringRule
 from repro.analysis.purity import TrialPurityRule
+from repro.analysis.taint import ConfidentialTaintRule, TaintSpec
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisError",
     "Analyzer",
     "Baseline",
+    "ConfidentialTaintRule",
     "DeterminismRule",
     "Finding",
     "HotPathRule",
     "LAYERS",
     "LayeringRule",
     "LintReport",
+    "LockDisciplineRule",
+    "PASS_SCHEMA",
     "Project",
+    "RULE_REGISTRY",
     "Rule",
     "Severity",
     "SourceModule",
+    "TaintSpec",
     "TrialPurityRule",
     "default_rules",
     "run_lint",

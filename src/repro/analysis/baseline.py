@@ -17,7 +17,11 @@ from pathlib import Path
 
 from repro.analysis.core import AnalysisError, Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
+
+#: Older formats still accepted by :meth:`Baseline.load`.  v1 lacked
+#: the ``passes`` schema map; its fingerprints are compatible.
+_COMPAT_VERSIONS = frozenset({1, BASELINE_VERSION})
 
 
 def _fingerprints(findings: list[Finding]) -> list[tuple[Finding, str]]:
@@ -39,6 +43,9 @@ class Baseline:
 
     fingerprints: frozenset[str] = frozenset()
     entries: list[dict] = field(default_factory=list)
+    #: pass schema versions the baseline was generated against
+    #: (:data:`repro.analysis.engine.PASS_SCHEMA` at write time)
+    passes: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -49,16 +56,18 @@ class Baseline:
                 from exc
         except json.JSONDecodeError as exc:
             raise AnalysisError(f"malformed baseline {path}: {exc}") from exc
-        if payload.get("version") != BASELINE_VERSION:
+        if payload.get("version") not in _COMPAT_VERSIONS:
             raise AnalysisError(
                 f"baseline {path} has version {payload.get('version')!r}, "
-                f"expected {BASELINE_VERSION}")
+                f"expected one of {sorted(_COMPAT_VERSIONS)}")
         entries = payload.get("findings", [])
         return cls(fingerprints=frozenset(e["fingerprint"] for e in entries),
-                   entries=entries)
+                   entries=entries,
+                   passes=dict(payload.get("passes", {})))
 
     @classmethod
-    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+    def from_findings(cls, findings: list[Finding],
+                      passes: dict[str, int] | None = None) -> "Baseline":
         entries = [
             {
                 "fingerprint": fingerprint,
@@ -71,13 +80,15 @@ class Baseline:
             for finding, fingerprint in _fingerprints(findings)
         ]
         return cls(fingerprints=frozenset(e["fingerprint"] for e in entries),
-                   entries=entries)
+                   entries=entries,
+                   passes=dict(passes or {}))
 
     def save(self, path: Path) -> None:
         payload = {
             "version": BASELINE_VERSION,
             "comment": "Grandfathered `confbench lint` findings; "
                        "regenerate with --write-baseline.",
+            "passes": dict(sorted(self.passes.items())),
             "findings": sorted(self.entries,
                                key=lambda e: (e["path"], e["rule"],
                                               e["fingerprint"])),

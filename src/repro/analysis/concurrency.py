@@ -1,0 +1,302 @@
+"""Lock-discipline pass: guarded attributes stay guarded.
+
+The genuinely threaded parts of the simulator — ``core.relay``'s
+accept/forward threads, ``core.rest``'s ThreadingHTTPServer handlers,
+the gateway admission path, and the pool watchdog — protect shared
+state with ``threading.Lock``.  The convention is implicit: nothing
+says *which* attributes ``self._lock`` guards, so a refactor can add
+an unlocked fast-path read and the race only shows up as a flaky
+counter three PRs later.
+
+This pass makes the convention checkable.  For every class that
+creates a lock in ``__init__`` (``self._lock = threading.Lock()`` /
+``RLock()``), it infers the guarded set from existing usage — an
+attribute is **guarded by** a lock if any method *writes* it inside a
+``with self._lock:`` block — and then reports:
+
+- ``lock/unguarded-write`` (error) — a write to a guarded attribute
+  outside the guarding lock;
+- ``lock/unguarded-read`` (warning) — a read of a guarded attribute
+  outside the guarding lock (benign for monotonic flags, a torn pair
+  for multi-field invariants — review or take the lock);
+- ``lock/order-inversion`` (error) — ``with a: with b:`` in one place
+  and ``with b: with a:`` in another within the same module: the
+  classic ABBA deadlock shape.
+
+``__init__`` is exempt (no other thread can hold a reference yet),
+and so is any private method whose every call site inside the class
+already holds the guarding lock (the ``_locked_…`` helper idiom).
+
+Suppress individual findings with ``# confbench: allow[lock]`` (the
+family pragma) or the specific sub-rule, e.g.
+``# confbench: allow[lock/unguarded-read]``, with a short
+justification for why the access is race-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ImportTable,
+    Rule,
+    Severity,
+    SourceModule,
+)
+from repro.analysis.purity import MUTATING_METHODS
+
+#: Callables whose result is a lock object.
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+})
+
+
+@dataclass
+class _Access:
+    """One read/write of ``self.<attr>`` inside a method."""
+
+    attr: str
+    write: bool
+    method: str
+    node: ast.AST
+    held: frozenset[str]     # lock attrs held at this point
+
+
+@dataclass
+class _MethodCall:
+    """A ``self.m(...)`` call site inside the class."""
+
+    method: str              # callee name
+    held: frozenset[str]
+
+
+@dataclass
+class _ClassUsage:
+    """Everything the pass learned about one class."""
+
+    name: str
+    locks: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+    calls: list[_MethodCall] = field(default_factory=list)
+    #: (outer, inner) lock acquisition orderings with a witness node
+    orderings: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    methods: set[str] = field(default_factory=set)
+
+
+class LockDisciplineRule(Rule):
+    """Infers guarded attributes and flags unguarded access."""
+
+    id = "lock"
+    severity = Severity.ERROR
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        table = ImportTable()
+        table.scan(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                usage = _collect_class(node, table)
+                if usage.locks:
+                    yield from self._report(usage, module)
+
+    # -- reporting ----------------------------------------------------
+
+    def _report(self, usage: _ClassUsage,
+                module: SourceModule) -> Iterator[Finding]:
+        guards = _infer_guards(usage)
+        locked_only = _locked_only_methods(usage, guards)
+        for access in usage.accesses:
+            lock = guards.get(access.attr)
+            if lock is None or access.method == "__init__":
+                continue
+            if lock in access.held or access.method in locked_only.get(
+                    lock, frozenset()):
+                continue
+            kind = "unguarded-write" if access.write else "unguarded-read"
+            severity = Severity.ERROR if access.write else Severity.WARNING
+            action = "write to" if access.write else "read of"
+            yield Finding(
+                rule=f"lock/{kind}", severity=severity,
+                path=str(module.path), line=access.node.lineno,
+                col=access.node.col_offset,
+                message=(f"{action} '{access.attr}' without holding "
+                         f"'{lock}', which guards it everywhere else in "
+                         f"{usage.name}; take the lock or justify with a "
+                         "pragma"),
+                symbol=f"{usage.name}.{access.method}",
+                module=module.name)
+        yield from self._inversions(usage, module)
+
+    def _inversions(self, usage: _ClassUsage,
+                    module: SourceModule) -> Iterator[Finding]:
+        seen: dict[tuple[str, str], ast.AST] = {}
+        for outer, inner, node in usage.orderings:
+            seen.setdefault((outer, inner), node)
+        reported: set[frozenset] = set()
+        for (outer, inner), node in sorted(
+                seen.items(), key=lambda kv: kv[1].lineno):
+            pair = frozenset((outer, inner))
+            if (inner, outer) in seen and pair not in reported:
+                reported.add(pair)
+                other = seen[(inner, outer)]
+                # report at the later acquisition, describing its order
+                if other.lineno > node.lineno:
+                    node, other = other, node
+                    outer, inner = inner, outer
+                yield Finding(
+                    rule="lock/order-inversion", severity=Severity.ERROR,
+                    path=str(module.path), line=node.lineno,
+                    col=node.col_offset,
+                    message=(f"'{inner}' is acquired while holding "
+                             f"'{outer}' here, but line {other.lineno} "
+                             "acquires them in the opposite order: two "
+                             "threads interleaving these paths deadlock "
+                             "(ABBA); pick one global order"),
+                    symbol=usage.name,
+                    module=module.name)
+
+
+# ---------------------------------------------------------------------------
+# collection
+
+
+def _collect_class(node: ast.ClassDef, table: ImportTable) -> _ClassUsage:
+    usage = _ClassUsage(name=node.name)
+    methods = [child for child in node.body
+               if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    usage.methods = {method.name for method in methods}
+    for method in methods:
+        if method.name == "__init__":
+            _find_locks(method, table, usage)
+    for method in methods:
+        _walk_method(method, method.name, frozenset(), usage)
+    return usage
+
+
+def _find_locks(init: ast.FunctionDef, table: ImportTable,
+                usage: _ClassUsage) -> None:
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call):
+            continue
+        if table.resolve(node.value.func) not in LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                usage.locks.add(target.attr)
+
+
+def _walk_method(node: ast.AST, method: str, held: frozenset[str],
+                 usage: _ClassUsage) -> None:
+    """Record self-attribute accesses and lock scopes lexically."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        acquired: list[str] = []
+        for item in node.items:
+            lock = _self_lock(item.context_expr, usage)
+            if lock is not None:
+                for outer in held | frozenset(acquired):
+                    if outer != lock:
+                        usage.orderings.append(
+                            (outer, lock, item.context_expr))
+                acquired.append(lock)
+        inner = held | frozenset(acquired)
+        for item in node.items:
+            _walk_method(item.context_expr, method, held, usage)
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # thread-target closures run later, without the lock
+                for grandchild in statement.body:
+                    _walk_method(grandchild, method, frozenset(), usage)
+                continue
+            _walk_method(statement, method, inner, usage)
+        return
+    if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name) and node.value.id == "self":
+        if node.attr not in usage.locks:
+            usage.accesses.append(_Access(
+                attr=node.attr,
+                write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                method=method, node=node, held=held))
+        # fall through: no children worth visiting beyond value
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"):
+            usage.calls.append(_MethodCall(method=func.attr, held=held))
+        inner = func.value if isinstance(func, ast.Attribute) else None
+        if (isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == "self"
+                and func.attr in MUTATING_METHODS
+                and inner.attr not in usage.locks):
+            # self.items.append(x): an in-place write to 'items'
+            usage.accesses.append(_Access(
+                attr=inner.attr, write=True, method=method,
+                node=inner, held=held))
+            for arg in node.args:
+                _walk_method(arg, method, held, usage)
+            for keyword in node.keywords:
+                _walk_method(keyword.value, method, held, usage)
+            return
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested def (thread target closure) runs later, without
+            # the lexically-held locks
+            for grandchild in child.body:
+                _walk_method(grandchild, method, frozenset(), usage)
+            continue
+        _walk_method(child, method, held, usage)
+
+
+def _self_lock(expr: ast.expr, usage: _ClassUsage) -> str | None:
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in usage.locks):
+        return expr.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# inference
+
+
+def _infer_guards(usage: _ClassUsage) -> dict[str, str]:
+    """attr -> lock, for attributes ever *written* under that lock."""
+    guards: dict[str, str] = {}
+    for access in usage.accesses:
+        if access.write and access.held and access.method != "__init__":
+            if access.attr not in guards:
+                guards[access.attr] = sorted(access.held)[0]
+    return guards
+
+
+def _locked_only_methods(usage: _ClassUsage,
+                         guards: dict[str, str]) -> dict[str, frozenset[str]]:
+    """lock -> private methods whose every in-class call site holds it.
+
+    The ``def _locked_evict(self)`` helper idiom: the method touches
+    guarded state without re-acquiring the (non-reentrant) lock, and
+    every caller takes the lock first.  Public methods never qualify —
+    external callers are invisible to this pass.
+    """
+    out: dict[str, set[str]] = {}
+    called: dict[str, list[_MethodCall]] = {}
+    for call in usage.calls:
+        called.setdefault(call.method, []).append(call)
+    for lock in sorted(set(guards.values())):
+        safe: set[str] = set()
+        for method, sites in called.items():
+            if not method.startswith("_") or method.startswith("__"):
+                continue
+            if method not in usage.methods:
+                continue
+            if all(lock in site.held for site in sites):
+                safe.add(method)
+        out[lock] = safe
+    return {lock: frozenset(methods) for lock, methods in out.items()}

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -82,6 +82,20 @@ class Finding:
             "module": self.module,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (cache deserialization)."""
+        return cls(
+            rule=payload["rule"],
+            severity=Severity(payload["severity"]),
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            message=payload["message"],
+            symbol=payload.get("symbol", ""),
+            module=payload.get("module", ""),
+        )
+
 
 @dataclass
 class SourceModule:
@@ -91,6 +105,7 @@ class SourceModule:
     name: str                   # dotted module name ("repro.hw.cpu")
     tree: ast.Module
     pragmas: PragmaIndex
+    sha: str = ""               # content hash (cache key material)
 
     @classmethod
     def parse(cls, path: Path) -> "SourceModule":
@@ -100,7 +115,8 @@ class SourceModule:
         except SyntaxError as exc:
             raise AnalysisError(f"cannot parse {path}: {exc}") from exc
         return cls(path=path, name=module_name_for(path), tree=tree,
-                   pragmas=PragmaIndex.scan(text))
+                   pragmas=PragmaIndex.scan(text),
+                   sha=hashlib.sha256(text.encode("utf-8")).hexdigest())
 
     @property
     def package(self) -> str:

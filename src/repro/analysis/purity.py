@@ -8,7 +8,8 @@ counter, a cache keyed on something spec-independent, a registry
 mutated at call time) couples one trial's result to how many trials
 ran before it, which exactly breaks the guarantee.
 
-The pass builds a best-effort static call graph over the project:
+The pass walks the project call graph built by
+:mod:`repro.analysis.dataflow`:
 
 - entry points are ``execute_trial``/``build_body`` plus every
   function decorated with ``@body_factory(...)``;
@@ -42,16 +43,16 @@ with a justification; anything else is a bug.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.analysis.core import (
-    Finding,
-    ImportTable,
-    Project,
-    Rule,
-    Severity,
-    SourceModule,
+from repro.analysis.core import Finding, Project, Rule, Severity
+from repro.analysis.dataflow import (
+    FunctionUnit,
+    SymbolIndex,
+    build_index,
+    call_targets,
+    decorator_names,
+    scope_nodes,
 )
 
 #: Call-graph roots: the runner's trial function and body resolver.
@@ -79,181 +80,6 @@ MUTATING_METHODS = frozenset({
 })
 
 
-def _scope_nodes(node: ast.AST) -> Iterator[ast.AST]:
-    """Walk a function body without descending into nested scopes.
-
-    Starts from the *body* for function nodes: decorators, default
-    values, and annotations evaluate at definition time, not when the
-    trial path calls the function, so they don't belong to its scope.
-    """
-    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-        todo = list(node.body)
-    else:
-        todo = list(ast.iter_child_nodes(node))
-    while todo:
-        child = todo.pop()
-        yield child
-        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef, ast.Lambda)):
-            todo.extend(ast.iter_child_nodes(child))
-
-
-def _local_names(fn: ast.AST) -> set[str]:
-    """Names bound inside one function scope (params + assignments)."""
-    names: set[str] = set()
-    args = fn.args
-    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
-        names.add(arg.arg)
-    if args.vararg:
-        names.add(args.vararg.arg)
-    if args.kwarg:
-        names.add(args.kwarg.arg)
-    declared_global: set[str] = set()
-    for node in _scope_nodes(fn):
-        if isinstance(node, ast.Global):
-            declared_global.update(node.names)
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                               ast.ClassDef)):
-            names.add(node.name)
-        elif isinstance(node, ast.Name) and isinstance(
-                node.ctx, (ast.Store, ast.Del)):
-            names.add(node.id)
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                names.add(alias.asname or alias.name.split(".")[0])
-        elif isinstance(node, ast.ExceptHandler) and node.name:
-            names.add(node.name)
-        elif isinstance(node, ast.NamedExpr) and isinstance(
-                node.target, ast.Name):
-            names.add(node.target.id)
-    return names - declared_global
-
-
-@dataclass
-class FunctionUnit:
-    """One analyzable function scope (module fn, method, or closure)."""
-
-    qualname: str               # "repro.core.runner.execute_trial"
-    module: SourceModule
-    node: ast.AST               # FunctionDef / AsyncFunctionDef
-    owner_class: str | None     # enclosing class qualname, if a method
-    enclosing_locals: frozenset[str]   # closure-visible names
-    nested: list[str] = field(default_factory=list)   # nested unit names
-
-    @property
-    def locals(self) -> frozenset[str]:
-        return frozenset(_local_names(self.node)) | self.enclosing_locals
-
-
-@dataclass
-class _Index:
-    """Project-wide symbol tables the reachability walk consults."""
-
-    functions: dict[str, FunctionUnit] = field(default_factory=dict)
-    classes: dict[str, list[str]] = field(default_factory=dict)
-    aliases: dict[str, str] = field(default_factory=dict)
-    module_globals: dict[str, dict[str, str]] = field(default_factory=dict)
-    import_tables: dict[str, ImportTable] = field(default_factory=dict)
-
-    def canonical(self, qualified: str) -> str:
-        """Follow ``__init__`` re-export aliases to the defining module."""
-        seen = set()
-        while qualified in self.aliases and qualified not in seen:
-            seen.add(qualified)
-            qualified = self.aliases[qualified]
-        return qualified
-
-
-def _classify_module_globals(tree: ast.Module) -> dict[str, str]:
-    """Module-level bindings → kind ("def", "class", "import", "const",
-    "var").  Only "var" reads count as non-spec state."""
-    kinds: dict[str, str] = {}
-
-    def bind(name: str, kind: str) -> None:
-        # A name both assigned and def'd keeps the strongest kind seen.
-        if kinds.get(name) not in ("def", "class", "import"):
-            kinds[name] = kind
-
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            kinds[node.name] = "def"
-        elif isinstance(node, ast.ClassDef):
-            kinds[node.name] = "class"
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                if alias.name != "*":
-                    kinds[alias.asname or alias.name.split(".")[0]] = "import"
-        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) \
-                else [node.target]
-            for target in targets:
-                if isinstance(target, ast.Name):
-                    upper = target.id.lstrip("_")
-                    kind = "const" if upper.isupper() or not upper else "var"
-                    bind(target.id, kind)
-    return kinds
-
-
-def _decorator_names(fn: ast.AST, table: ImportTable) -> set[str]:
-    names: set[str] = set()
-    for dec in fn.decorator_list:
-        target = dec.func if isinstance(dec, ast.Call) else dec
-        resolved = table.resolve(target)
-        if resolved:
-            names.add(resolved)
-        if isinstance(target, ast.Name):
-            names.add(target.id)
-    return names
-
-
-def build_index(project: Project) -> _Index:
-    """Symbol tables: functions, classes, re-export aliases, globals."""
-    index = _Index()
-    for module in project.modules:
-        table = ImportTable().scan(
-            module.tree, module.name,
-            is_package_init=module.path.stem == "__init__")
-        index.import_tables[module.name] = table
-        index.module_globals[module.name] = _classify_module_globals(
-            module.tree)
-        for local, qualified in table.names.items():
-            index.aliases[f"{module.name}.{local}"] = qualified
-        _index_scope(index, module, module.tree, prefix=module.name,
-                     owner_class=None, enclosing=frozenset())
-    return index
-
-
-def _index_scope(index: _Index, module: SourceModule, node: ast.AST,
-                 prefix: str, owner_class: str | None,
-                 enclosing: frozenset[str]) -> list[str]:
-    """Register every function/class under ``node``; returns the unit
-    names registered directly at this level."""
-    registered: list[str] = []
-    for child in ast.iter_child_nodes(node):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            qualname = f"{prefix}.{child.name}"
-            unit = FunctionUnit(qualname=qualname, module=module,
-                                node=child, owner_class=owner_class,
-                                enclosing_locals=enclosing)
-            index.functions[qualname] = unit
-            unit.nested = _index_scope(
-                index, module, child, prefix=qualname,
-                owner_class=owner_class,
-                enclosing=enclosing | frozenset(_local_names(child)))
-            registered.append(qualname)
-        elif isinstance(child, ast.ClassDef):
-            class_qual = f"{prefix}.{child.name}"
-            methods = _index_scope(index, module, child, prefix=class_qual,
-                                   owner_class=class_qual,
-                                   enclosing=enclosing)
-            index.classes[class_qual] = methods
-            registered.append(class_qual)
-        elif not isinstance(child, ast.Lambda):
-            registered.extend(_index_scope(index, module, child, prefix,
-                                           owner_class, enclosing))
-    return registered
-
-
 class TrialPurityRule(Rule):
     """Checks functions reachable from the trial pipeline for purity."""
 
@@ -275,15 +101,15 @@ class TrialPurityRule(Rule):
 
     # -- reachability -------------------------------------------------
 
-    def _entry_units(self, index: _Index) -> list[str]:
+    def _entry_units(self, index: SymbolIndex) -> list[str]:
         entries = [e for e in self.entry_points if e in index.functions]
         for qualname, unit in index.functions.items():
             table = index.import_tables[unit.module.name]
-            if _decorator_names(unit.node, table) & self.entry_decorators:
+            if decorator_names(unit.node, table) & self.entry_decorators:
                 entries.append(qualname)
         return entries
 
-    def _reachable_units(self, index: _Index) -> set[str]:
+    def _reachable_units(self, index: SymbolIndex) -> set[str]:
         seen: set[str] = set()
         todo = self._entry_units(index)
         while todo:
@@ -295,52 +121,13 @@ class TrialPurityRule(Rule):
             if unit is None:
                 continue
             todo.extend(unit.nested)
-            todo.extend(self._callees(unit, index))
+            todo.extend(call_targets(unit, index))
         return seen
-
-    def _callees(self, unit: FunctionUnit, index: _Index) -> list[str]:
-        table = index.import_tables[unit.module.name]
-        local = unit.locals
-        callees: list[str] = []
-
-        def add_target(qualified: str) -> None:
-            qualified = index.canonical(qualified)
-            if qualified in index.functions:
-                callees.append(qualified)
-            elif qualified in index.classes:
-                callees.extend(index.classes[qualified])
-
-        for node in _scope_nodes(unit.node):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            if isinstance(func, ast.Name):
-                # Import bindings land in the import table AND in the
-                # local-name set (function-level imports are locals),
-                # so resolve through the table before the local check.
-                resolved = table.resolve(func)
-                if resolved and resolved != func.id:
-                    add_target(resolved)
-                elif func.id not in local:
-                    add_target(f"{unit.module.name}.{func.id}")
-            elif isinstance(func, ast.Attribute):
-                base = func.value
-                if (isinstance(base, ast.Name) and base.id == "self"
-                        and unit.owner_class is not None):
-                    add_target(f"{unit.owner_class}.{func.attr}")
-                    continue
-                resolved = table.resolve(func)
-                if resolved:
-                    add_target(resolved)
-                # ClassName.method through a same-module class.
-                if isinstance(base, ast.Name) and base.id not in local:
-                    add_target(f"{unit.module.name}.{base.id}.{func.attr}")
-        return callees
 
     # -- purity checks ------------------------------------------------
 
     def _check_unit(self, unit: FunctionUnit,
-                    index: _Index) -> Iterator[Finding]:
+                    index: SymbolIndex) -> Iterator[Finding]:
         module = unit.module
         table = index.import_tables[module.name]
         globals_kinds = index.module_globals[module.name]
@@ -355,17 +142,17 @@ class TrialPurityRule(Rule):
                 rule=f"purity/{subrule}", severity=severity,
                 path=str(module.path), line=node.lineno,
                 col=node.col_offset, message=message,
-                symbol=unit.qualname[len(module.name) + 1:],
+                symbol=unit.relname,
                 module=module.name)
 
-        if _decorator_names(unit.node, table) & MEMO_DECORATORS:
+        if decorator_names(unit.node, table) & MEMO_DECORATORS:
             yield finding(
                 "memoized", unit.node,
                 "lru_cache on the trial path: process-level memoization "
                 "is only sound if the key fully determines the value",
                 severity=Severity.WARNING)
 
-        for node in _scope_nodes(unit.node):
+        for node in scope_nodes(unit.node):
             if isinstance(node, ast.Global):
                 yield finding(
                     "global-write", node,

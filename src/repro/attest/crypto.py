@@ -107,12 +107,18 @@ class RsaPublicKey:
         return recovered == expected
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class RsaKeyPair:
     """An RSA key pair; keep the private exponent private."""
 
     public: RsaPublicKey
     d: int
+
+    def __repr__(self) -> str:
+        # never include d: a stray repr in a log line, exception
+        # message, or journal record must not leak the private half
+        return (f"RsaKeyPair(fingerprint={self.public.fingerprint()}, "
+                f"bits={self.public.bits})")
 
     def sign(self, message: bytes) -> bytes:
         """PKCS#1 v1.5-style SHA-384 signature of ``message``."""

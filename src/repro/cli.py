@@ -193,8 +193,10 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to lint "
                            "(default: src/repro)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="report format (default text)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="report format (default text); sarif emits "
+                           "SARIF 2.1.0 for CI code-scanning upload")
     lint.add_argument("--baseline", metavar="FILE",
                       help="JSON baseline of grandfathered findings; "
                            "only new findings fail the run")
@@ -203,7 +205,14 @@ def _build_parser() -> argparse.ArgumentParser:
                            "and exit 0")
     lint.add_argument("--rules", metavar="LIST",
                       help="comma-separated pass subset: determinism, "
-                           "layering, purity (default: all)")
+                           "layering, purity, hotpath, taint, lock "
+                           "(default: all)")
+    lint.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                      help="run passes in N worker processes; output is "
+                           "byte-identical to a serial run")
+    lint.add_argument("--cache", metavar="FILE", dest="lint_cache",
+                      help="per-file analysis cache keyed by content "
+                           "hashes; safe to delete at any time")
     lint.set_defaults(subparser=lint)
     return parser
 
@@ -405,27 +414,21 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import (
-        Baseline,
-        DeterminismRule,
-        HotPathRule,
-        LayeringRule,
-        TrialPurityRule,
-        run_lint,
-    )
+    from repro.analysis import Baseline, run_lint
+    from repro.analysis.engine import PASS_SCHEMA, RULE_REGISTRY
 
-    rule_classes = {"determinism": DeterminismRule, "layering": LayeringRule,
-                    "purity": TrialPurityRule, "hotpath": HotPathRule}
     if args.rules:
         names = [name.strip() for name in args.rules.split(",") if name.strip()]
-        unknown = [name for name in names if name not in rule_classes]
+        unknown = [name for name in names if name not in RULE_REGISTRY]
         if unknown:
             args.subparser.error(
                 f"argument --rules: unknown pass(es) {', '.join(unknown)}; "
-                f"choose from {', '.join(sorted(rule_classes))}")
-        rules = [rule_classes[name]() for name in names]
+                f"choose from {', '.join(sorted(RULE_REGISTRY))}")
+        rules = [RULE_REGISTRY[name]() for name in names]
     else:
-        rules = [cls() for cls in rule_classes.values()]
+        rules = [cls() for cls in RULE_REGISTRY.values()]
+    if args.jobs < 1:
+        args.subparser.error("argument --jobs: must be >= 1")
 
     paths = [Path(p) for p in (args.paths or ["src/repro"])]
     for path in paths:
@@ -440,16 +443,24 @@ def _cmd_lint(args) -> int:
                 f"argument --baseline: no such file: {baseline_path}")
         baseline = Baseline.load(baseline_path)
     _writable_file_arg(args, args.write_baseline, "--write-baseline")
+    _writable_file_arg(args, args.lint_cache, "--cache")
 
-    report = run_lint(paths, rules=rules, baseline=baseline)
+    report = run_lint(
+        paths, rules=rules, baseline=baseline, jobs=args.jobs,
+        cache_path=Path(args.lint_cache) if args.lint_cache else None)
     if args.write_baseline:
         full = report.findings + report.grandfathered
-        Baseline.from_findings(full).save(Path(args.write_baseline))
+        Baseline.from_findings(full, passes=PASS_SCHEMA).save(
+            Path(args.write_baseline))
         print(f"wrote baseline with {len(full)} finding(s) -> "
               f"{args.write_baseline}")
         return 0
-    print(report.render_json() if args.format == "json"
-          else report.render_text())
+    if args.format == "json":
+        print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
+    else:
+        print(report.render_text())
     return report.exit_code
 
 

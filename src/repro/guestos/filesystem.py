@@ -12,6 +12,7 @@ this module.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.errors import FileSystemError
@@ -24,7 +25,7 @@ def _split(path: str) -> list[str]:
     return [part for part in path.split("/") if part]
 
 
-@dataclass
+@dataclass(repr=False)
 class FileNode:
     """A regular file: a mutable byte buffer."""
 
@@ -34,6 +35,13 @@ class FileNode:
     @property
     def size(self) -> int:
         return len(self.data)
+
+    def __repr__(self) -> str:
+        # guest file contents are confidential: a repr reaching a log
+        # line or trace must carry a digest, never the raw bytes
+        digest = hashlib.sha256(bytes(self.data)).hexdigest()[:16]
+        return (f"FileNode(name={self.name!r}, size={self.size}, "
+                f"sha256={digest})")
 
 
 @dataclass

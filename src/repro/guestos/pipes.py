@@ -28,6 +28,11 @@ class Pipe:
         self.total_written = 0
         self.total_read = 0
 
+    def __repr__(self) -> str:
+        # buffered bytes are guest data; expose counters, not content
+        return (f"Pipe(capacity={self.capacity}, fill={self.fill}, "
+                f"written={self.total_written}, read={self.total_read})")
+
     @property
     def fill(self) -> int:
         """Bytes currently buffered."""

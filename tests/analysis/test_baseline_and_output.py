@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import textwrap
 from pathlib import Path
 
 import pytest
@@ -63,6 +64,33 @@ class TestBaseline:
         assert a.fingerprint() == b.fingerprint()
         assert a.fingerprint(0) != a.fingerprint(1)
 
+    def test_v2_records_pass_schema(self, make_tree, tmp_path):
+        from repro.analysis import PASS_SCHEMA
+        from repro.analysis.baseline import BASELINE_VERSION
+
+        findings = find(make_tree({"workloads/w.py": VIOLATION}))
+        baseline = Baseline.from_findings(findings, passes=PASS_SCHEMA)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == BASELINE_VERSION == 2
+        assert payload["passes"] == PASS_SCHEMA
+        loaded = Baseline.load(path)
+        assert loaded.passes == PASS_SCHEMA
+        assert loaded.fingerprints == baseline.fingerprints
+
+    def test_v1_baseline_still_loads(self, make_tree, tmp_path):
+        """Pre-passes-map baselines (version 1) stay readable."""
+        findings = find(make_tree({"workloads/w.py": VIOLATION}))
+        entries = [{"fingerprint": f.fingerprint(0), "rule": f.rule}
+                   for f in findings]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "findings": entries}))
+        loaded = Baseline.load(path)
+        assert loaded.passes == {}
+        new, old = loaded.split(findings)
+        assert new == [] and old == findings
+
     def test_version_mismatch_rejected(self, tmp_path):
         path = tmp_path / "baseline.json"
         path.write_text(json.dumps({"version": 99, "findings": []}))
@@ -74,6 +102,63 @@ class TestBaseline:
         path.write_text("{not json")
         with pytest.raises(AnalysisError):
             Baseline.load(path)
+
+
+class TestNewRuleFingerprintStability:
+    """Line churn above a finding must not rotate its fingerprint —
+    otherwise baselines for the taint/lock families go stale on every
+    unrelated edit."""
+
+    CRYPTO_STUB = """
+        def derived_keypair(parent, label, bits=1024):
+            return object()
+    """
+    LEAK = """
+        import warnings
+
+        from repro.attest.crypto import derived_keypair
+
+
+        def leak(rng):
+            pair = derived_keypair(rng, "x")
+            warnings.warn(f"d={pair.d}")
+    """
+    RACE = """
+        import threading
+
+
+        class Racy:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+
+            def racy(self):
+                self.count = 0
+    """
+    CHURN = "\n# one\n# two\n# three\n"
+
+    def _fingerprints(self, make_tree, files):
+        found = find(make_tree(files))
+        assert found
+        return {(f.rule, f.fingerprint(0)) for f in found}
+
+    def test_taint_fingerprint_survives_line_churn(self, make_tree):
+        base = {"attest/crypto.py": self.CRYPTO_STUB}
+        before = self._fingerprints(make_tree, {
+            **base, "leaky.py": self.LEAK})
+        after = self._fingerprints(make_tree, {
+            **base, "leaky.py": self.CHURN + textwrap.dedent(self.LEAK)})
+        assert before == after
+
+    def test_lock_fingerprint_survives_line_churn(self, make_tree):
+        before = self._fingerprints(make_tree, {"racy.py": self.RACE})
+        after = self._fingerprints(
+            make_tree, {"racy.py": self.CHURN + textwrap.dedent(self.RACE)})
+        assert before == after
 
 
 class TestJsonOutput:

@@ -1,0 +1,185 @@
+"""Lock-discipline pass: guard inference, exemptions, ABBA detection."""
+
+from __future__ import annotations
+
+from repro.analysis import run_lint
+from repro.analysis.concurrency import LockDisciplineRule
+from repro.analysis.core import load_project
+
+RACY = """
+import threading
+
+
+class Racy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0        # writes in __init__ are exempt
+        self.items = []
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self.items.append(self.count)
+
+    def racy_write(self):
+        self.count = 0
+
+    def racy_read(self):
+        return self.count
+"""
+
+ABBA = """
+import threading
+
+
+class Deadlocky:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.x = 0
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                self.x += 1
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                self.x -= 1
+"""
+
+
+def _lock_findings(make_tree, files):
+    root = make_tree(files)
+    project = load_project([root])
+    rule = LockDisciplineRule()
+    findings = []
+    for module in project.modules:
+        findings.extend(rule.check_module(module))
+    return findings
+
+
+def test_unguarded_write_is_error_and_read_is_warning(make_tree):
+    findings = _lock_findings(make_tree, {"racy.py": RACY})
+    by_rule = {f.rule: f for f in findings}
+    write = by_rule["lock/unguarded-write"]
+    assert write.severity.value == "error"
+    assert write.symbol == "Racy.racy_write"
+    assert "'count'" in write.message and "'_lock'" in write.message
+    read = by_rule["lock/unguarded-read"]
+    assert read.severity.value == "warning"
+    assert read.symbol == "Racy.racy_read"
+
+
+def test_init_writes_are_exempt(make_tree):
+    findings = _lock_findings(make_tree, {"racy.py": RACY})
+    assert not any(f.symbol.endswith("__init__") for f in findings)
+
+
+def test_order_inversion_detected(make_tree):
+    findings = _lock_findings(make_tree, {"abba.py": ABBA})
+    inversions = [f for f in findings if f.rule == "lock/order-inversion"]
+    assert len(inversions) == 1
+    message = inversions[0].message
+    assert "opposite order" in message and "ABBA" in message
+
+
+def test_locked_helper_idiom_is_exempt(make_tree):
+    findings = _lock_findings(make_tree, {"helper.py": """
+        import threading
+
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.members = []
+
+            def add(self, member):
+                with self._lock:
+                    self.members.append(member)
+                    self._locked_trim()
+
+            def _locked_trim(self):
+                while len(self.members) > 8:
+                    self.members.pop()
+    """})
+    assert findings == []
+
+
+def test_consistently_locked_class_is_clean(make_tree):
+    findings = _lock_findings(make_tree, {"clean.py": """
+        import threading
+
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0
+
+            def bump(self):
+                with self._lock:
+                    self.value += 1
+
+            def snapshot(self):
+                with self._lock:
+                    return self.value
+    """})
+    assert findings == []
+
+
+def test_class_without_locks_is_ignored(make_tree):
+    findings = _lock_findings(make_tree, {"plain.py": """
+        class Plain:
+            def __init__(self):
+                self.value = 0
+
+            def bump(self):
+                self.value += 1
+    """})
+    assert findings == []
+
+
+def test_thread_target_closure_does_not_inherit_lock(make_tree):
+    # a nested def runs on another thread later: accesses inside it are
+    # NOT protected by the lexically-enclosing with-lock
+    findings = _lock_findings(make_tree, {"closure.py": """
+        import threading
+
+
+        class Spawner:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.jobs = []
+
+            def submit(self, job):
+                with self._lock:
+                    self.jobs.append(job)
+
+                    def worker():
+                        self.jobs.pop()
+
+                    threading.Thread(target=worker).start()
+    """})
+    assert [f.rule for f in findings] == ["lock/unguarded-write"]
+
+
+def test_pragma_suppresses_lock_family(make_tree):
+    root = make_tree({"allowed.py": """
+        import threading
+
+
+        class Monotonic:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.done = False
+
+            def finish(self):
+                with self._lock:
+                    self.done = True
+
+            def poll(self):
+                return self.done  # confbench: allow[lock/unguarded-read]
+    """})
+    report = run_lint([root], rules=[LockDisciplineRule()])
+    assert report.findings == []

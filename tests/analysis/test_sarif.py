@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 rendering: shape, level mapping, fingerprints.
+
+The SARIF output feeds GitHub code scanning from CI; these tests pin
+the parts the upload actually consumes (schema/version, driver name,
+rule table, per-result level/region/fingerprint) and assert adding
+the format changed nothing about text/JSON rendering.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import run_lint
+from repro.cli import main
+
+MIXED = """
+    import time
+
+    def body(kernel):
+        return time.time()
+"""
+
+LEAKY = """
+    import warnings
+
+    from repro.attest.crypto import derived_keypair
+
+
+    def leak(rng):
+        pair = derived_keypair(rng, "x")
+        warnings.warn(f"d={pair.d}")
+"""
+
+CRYPTO_STUB = """
+    def derived_keypair(parent, label, bits=1024):
+        return object()
+"""
+
+
+def _sarif(make_tree, files):
+    report = run_lint([make_tree(files)])
+    return report, json.loads(report.render_sarif())
+
+
+def test_sarif_envelope(make_tree):
+    report, payload = _sarif(make_tree, {"workloads/w.py": MIXED})
+    assert payload["version"] == "2.1.0"
+    assert payload["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "confbench-lint"
+    assert len(run["results"]) == len(report.findings) >= 1
+
+
+def test_sarif_rule_table_covers_every_result(make_tree):
+    _, payload = _sarif(make_tree, {
+        "attest/crypto.py": CRYPTO_STUB, "leaky.py": LEAKY,
+        "workloads/w.py": MIXED})
+    run = payload["runs"][0]
+    table = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert table == sorted(table)
+    for result in run["results"]:
+        assert result["ruleId"] in table
+        assert table[result["ruleIndex"]] == result["ruleId"]
+    families = {r["ruleId"].split("/")[0] for r in run["results"]}
+    assert {"determinism", "taint"} <= families
+
+
+def test_sarif_levels_follow_severity(make_tree):
+    report, payload = _sarif(make_tree, {"workloads/w.py": MIXED})
+    for finding, result in zip(report.findings,
+                               payload["runs"][0]["results"]):
+        expected = "error" if finding.severity.value == "error" \
+            else "warning"
+        assert result["level"] == expected
+
+
+def test_sarif_region_is_one_based(make_tree):
+    report, payload = _sarif(make_tree, {"workloads/w.py": MIXED})
+    for finding, result in zip(report.findings,
+                               payload["runs"][0]["results"]):
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.col + 1   # SARIF cols: 1-based
+
+
+def test_sarif_fingerprints_match_baseline_fingerprints(make_tree):
+    report, payload = _sarif(make_tree, {"workloads/w.py": MIXED})
+    for finding, result in zip(report.findings,
+                               payload["runs"][0]["results"]):
+        fingerprint = result["partialFingerprints"]["confbenchFingerprint/v1"]
+        assert fingerprint == finding.fingerprint(0)
+
+
+def test_sarif_clean_tree_has_empty_results(make_tree):
+    _, payload = _sarif(make_tree, {"workloads/w.py": "x = 1\n"})
+    assert payload["runs"][0]["results"] == []
+
+
+def test_cli_format_sarif(make_tree, capsys):
+    tree = make_tree({"workloads/w.py": MIXED})
+    assert main(["lint", str(tree), "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert payload["runs"][0]["results"]
+
+
+def test_text_and_json_renderings_unchanged_by_sarif(make_tree):
+    """Adding --format sarif must not perturb the existing formats."""
+    report = run_lint([make_tree({"workloads/w.py": MIXED})])
+    text_before = report.render_text()
+    json_before = report.render_json()
+    report.render_sarif()
+    assert report.render_text() == text_before
+    assert report.render_json() == json_before
