@@ -28,7 +28,24 @@ from repro.attest.certs import (
     CertificateRevocationList,
     verify_chain,
 )
-from repro.attest.pcs import IntelPcs
+from repro.attest.pcs import (
+    DEFAULT_FRESHNESS,
+    FreshnessPolicy,
+    IntelPcs,
+    RequestLog,
+    Staleness,
+)
+from repro.attest.service import (
+    Admission,
+    AttestationSession,
+    CollateralTier,
+    LaunchAttestor,
+    LaunchVerdict,
+    SessionCache,
+    TieredCollateral,
+    VerificationJob,
+    VerifierService,
+)
 from repro.attest.tdx_quote import QuotingEnclave, TdxQuote, generate_tdx_quote
 from repro.attest.snp_report import (
     AmdKeyInfrastructure,
@@ -55,6 +72,19 @@ __all__ = [
     "CertificateRevocationList",
     "verify_chain",
     "IntelPcs",
+    "Staleness",
+    "FreshnessPolicy",
+    "DEFAULT_FRESHNESS",
+    "RequestLog",
+    "CollateralTier",
+    "TieredCollateral",
+    "AttestationSession",
+    "SessionCache",
+    "VerificationJob",
+    "LaunchVerdict",
+    "VerifierService",
+    "Admission",
+    "LaunchAttestor",
     "QuotingEnclave",
     "TdxQuote",
     "generate_tdx_quote",

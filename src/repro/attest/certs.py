@@ -83,7 +83,20 @@ class CertificateRevocationList:
         return serial in self.revoked_serials
 
     def is_stale(self, now_ns: float) -> bool:
-        return now_ns > self.next_update
+        """Whether the CRL is no longer fresh at ``now_ns``.
+
+        Freshness requires ``now_ns`` *strictly less than*
+        ``next_update``: a CRL whose ``next_update`` equals the
+        current clock reading is already stale.  Every consumer
+        (chain verification, the PCS cache, the verifier service's
+        freshness policy) uses this one predicate so serial and
+        parallel runs cannot disagree on the boundary.
+        """
+        return not now_ns < self.next_update
+
+    def freshness_remaining_ns(self, now_ns: float) -> float:
+        """Virtual time until this CRL goes stale (0 when already stale)."""
+        return max(0.0, self.next_update - now_ns)
 
 
 class CertificateAuthority:

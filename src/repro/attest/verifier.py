@@ -121,7 +121,8 @@ class TdxVerifier:
 
     def __init__(self, pcs: IntelPcs, trusted_root: Certificate | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 breaker: CircuitBreaker | None = None) -> None:
+                 breaker: CircuitBreaker | None = None,
+                 collateral=None) -> None:
         self.pcs = pcs
         self.trusted_root = (
             trusted_root if trusted_root is not None else pcs.root_ca.certificate
@@ -134,6 +135,13 @@ class TdxVerifier:
         # fail-fast) — not the same instance to both, or each timeout
         # would be counted twice.
         self.breaker = breaker
+        #: where collateral documents come from.  Defaults to the PCS
+        #: itself (every fetch is a WAN round-trip); the verifier
+        #: service swaps in a
+        #: :class:`~repro.attest.service.TieredCollateral` so warm
+        #: host/CDN tiers answer instead.  Duck-typed on the four
+        #: ``fetch_*`` methods.
+        self.collateral = collateral if collateral is not None else pcs
 
     def verify(self, quote: TdxQuote, ctx: ExecContext,
                expected_report_data: bytes | None = None) -> VerificationResult:
@@ -164,13 +172,14 @@ class TdxVerifier:
                 "tdx: injected transient verification failure")
 
         # 1. collateral retrieval — the expensive, networked part
-        tcb = self.pcs.fetch_tcb_info(ctx)
+        # (or a warm cache tier, when the verifier service wires one)
+        tcb = self.collateral.fetch_tcb_info(ctx)
         result.record("fetch_tcb_info")
-        qe_identity = self.pcs.fetch_qe_identity(ctx)
+        qe_identity = self.collateral.fetch_qe_identity(ctx)
         result.record("fetch_qe_identity")
-        root_crl = self.pcs.fetch_root_crl(ctx)
+        root_crl = self.collateral.fetch_root_crl(ctx)
         result.record("fetch_root_crl")
-        pck_crl = self.pcs.fetch_pck_crl(ctx)
+        pck_crl = self.collateral.fetch_pck_crl(ctx)
         result.record("fetch_pck_crl")
 
         # 2. collateral signature checks

@@ -83,7 +83,8 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment",
                                      help="regenerate a paper artifact")
     experiment.add_argument("name", choices=(
-        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "dbms", "all",
+        "fig3", "fig4", "fig5", "fig5x", "fig6", "fig7", "fig8", "dbms",
+        "all",
     ))
     experiment.add_argument("--quick", action="store_true",
                             help="reduced grid for a fast look")
@@ -538,6 +539,12 @@ def _cmd_experiment(args) -> int:
         result = experiments.run_fig5(seed=args.seed,
                                       trials=trials(3 if quick else 10),
                                       runner=runner)
+        print(result.render())
+    elif args.name == "fig5x":
+        result = experiments.run_fig5_service(
+            seed=args.seed,
+            trials=trials(1 if quick else 3),
+            runner=runner)
         print(result.render())
     elif args.name == "fig6":
         result = experiments.run_fig6(

@@ -92,7 +92,8 @@ class Gateway:
     def __init__(self, config: GatewayConfig | None = None,
                  runner: TrialRunner | None = None,
                  faults: "FaultPlan | str | None" = None,
-                 max_pending: int | None = None) -> None:
+                 max_pending: int | None = None,
+                 attest_launches: bool = False) -> None:
         self.config = config if config is not None else default_config()
         # Gateway trials run against long-lived pool VMs (stateful),
         # so they go through the runner's in-process trial loop rather
@@ -121,8 +122,18 @@ class Gateway:
         self.hosts: dict[str, Host] = {}
         self.pools: dict[tuple[str, bool], TeePool] = {}
         self.monitors: dict[str, PerfMonitor] = {}
+        #: per-platform launch attestors (opt-in via ``attest_launches``)
+        self.attestors: dict[str, "object"] = {}
         self.dispatch_model = DispatchModel()
         policy = LoadBalancingPolicy.parse(self.config.load_balancing)
+        if attest_launches:
+            from repro.attest.service import LaunchAttestor
+
+            for entry in self.config.entries:
+                if entry.platform in LaunchAttestor.SUPPORTED:
+                    self.attestors[entry.platform] = LaunchAttestor(
+                        entry.platform, seed=entry.seed,
+                        metrics=self.metrics)
         for entry in self.config.entries:
             platform = platform_by_name(entry.platform, seed=entry.seed)
             host = Host(name=entry.host + "/" + entry.platform,
@@ -142,6 +153,9 @@ class Gateway:
                 pool.respawn = self._respawner(host, pool)
                 pool.faults = self.faults
                 pool.metrics = self.metrics
+            # only secure pools attest: a normal VM has no launch
+            # measurement to verify
+            secure_pool.attestor = self.attestors.get(entry.platform)
             self.pools[(entry.platform, True)] = secure_pool
             self.pools[(entry.platform, False)] = normal_pool
 

@@ -51,6 +51,9 @@ class Worker:
     inflight: int = 0
     served: int = 0      # successful runs only
     failed: int = 0      # runs that raised
+    #: whether this VM passed launch attestation (pools with an
+    #: attestor admit each worker once, before its first dispatch)
+    attested: bool = False
 
 
 @dataclass
@@ -77,6 +80,13 @@ class TeePool:
     #: gateway wires its registry in so pool supervision shows up in
     #: ``GET /v1/metrics``
     metrics: "object | None" = None
+    #: optional :class:`~repro.attest.service.LaunchAttestor`; when set
+    #: on a secure pool, each worker is attested before its first
+    #: dispatch and the attestation latency is charged to the serving
+    #: result's STARTUP bucket.  A respawned worker re-attests under
+    #: the same port identity, so it *resumes* its predecessor's
+    #: attestation session instead of paying the full flow again.
+    attestor: "object | None" = None
 
     @property
     def side(self) -> str:
@@ -171,6 +181,7 @@ class TeePool:
                 if (faults.triggers(FaultKind.VM_CRASH, "worker")
                         and worker.vm.state is not VmState.DESTROYED):
                     worker.vm.state = VmState.DESTROYED
+            admission_ns = self._admit_worker(worker)
             trace = Trace()
             failures.replay(trace)
             try:
@@ -194,7 +205,7 @@ class TeePool:
                 continue
             if faults is not None:
                 injected.extend(faults.injected)
-            surcharge = failures.surcharge_ns
+            surcharge = failures.surcharge_ns + admission_ns
             if surcharge > 0:
                 result.ledger.charge(CostCategory.STARTUP, surcharge)
                 result.total_ns += surcharge
@@ -208,6 +219,27 @@ class TeePool:
             f"request {name!r} trial {trial} failed after {attempt} "
             f"attempt(s)"
         ) from last_exc
+
+    def _admit_worker(self, worker: Worker) -> float:
+        """Launch-attest a worker on its first dispatch.
+
+        Returns the admission latency in virtual ns (0.0 when no
+        attestor is wired, the pool is not secure, or the worker was
+        already admitted).  The identity presented is the *port slot*,
+        not the VM id, so a respawned replacement resumes the dead
+        worker's attestation session — the same image on the same slot
+        re-attests cheaply, exactly the warm-relaunch path the
+        verifier service models.
+        """
+        if self.attestor is None or not self.secure or worker.attested:
+            return 0.0
+        admission = self.attestor.admit(
+            f"{self.platform}/port-{worker.port}")
+        worker.attested = True
+        self._count("attested")
+        if admission.verdict.resumed:
+            self._count("attest_resumed")
+        return admission.latency_ns
 
     def evict(self, worker: Worker) -> None:
         """Remove a failed worker from rotation.

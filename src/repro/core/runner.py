@@ -458,6 +458,186 @@ def _attestation_body(spec: TrialSpec) -> Callable:
     return body
 
 
+@body_factory("attestation-service")
+def _attestation_service_body(spec: TrialSpec) -> Callable:
+    """A fleet's worth of launches through the verifier service.
+
+    One trial models the Fig. 5 extension scenario end to end: two
+    verifier hosts share a cluster CDN tier in front of one PCS
+    origin, and three launch waves exercise every cache tier —
+
+    1. wave 1 on host A: the first tenant pays the origin fetches,
+       the rest hit the warmed host tier;
+    2. wave 2 on host B: a cold host tier but a warm CDN — every
+       launch resolves collateral one LAN hop away;
+    3. wave 3 on host A: the same tenants return and resume their
+       attestation sessions, skipping evidence generation and
+       verification entirely.
+
+    SNP has no networked collateral, so its scenario is two waves:
+    full local verification, then session resumption.  The body
+    returns per-tier latencies plus the service/tier counters and a
+    reconciliation flag (origin fetches vs clean ``request_log``
+    entries) so the experiment can fold them deterministically.
+    """
+    from repro.attest import (
+        AmdKeyInfrastructure,
+        IntelPcs,
+        QuotingEnclave,
+        SnpVerifier,
+        TdxVerifier,
+        VerificationJob,
+        VerifierService,
+        generate_snp_report,
+        generate_tdx_quote,
+    )
+    from repro.attest.service import CollateralTier, TieredCollateral
+    from repro.errors import AttestationError
+    from repro.sim.faults import CircuitBreaker
+    from repro.tee.sevsnp import AmdSecureProcessor
+    from repro.tee.tdx import TdxModule
+
+    flavor = spec.workload
+    if flavor not in ("tdx-attestation", "snp-attestation"):
+        raise RunnerError(f"unknown attestation flavor {flavor!r}")
+    infra_seed = spec.params.get("infra_seed", 0)
+    tenants = spec.params.get("tenants", 3)
+    concurrency = spec.params.get("concurrency", 2)
+    wave_gap_ns = 1_000_000.0  # launches arrive 1 ms apart within a wave
+
+    def body(kernel):
+        ctx = kernel.ctx
+        trace = ctx.trace
+        infra_rng = SimRng(infra_seed, f"attest-service-infra/{flavor}")
+        breaker_seed = derive_seed(ctx.rng.seed, f"{ctx.rng.label}/breaker")
+        tiers: dict[str, list[float]] = {}
+        queue_waits: list[float] = []
+        counters: dict[str, int] = {}
+
+        def fold(verdicts):
+            # per-tier table uses verify_ns (the attestation cost the
+            # tier determines); queue waits are load, tracked apart
+            for verdict in verdicts:
+                if not verdict.accepted:
+                    raise AttestationError(
+                        f"{flavor}: service unexpectedly rejected "
+                        f"{verdict.measurement}")
+                tiers.setdefault(verdict.tier, []).append(verdict.verify_ns)
+                queue_waits.append(verdict.queue_wait_ns)
+
+        def add_counters(prefix, stats):
+            for name, value in stats.items():
+                counters[f"{prefix}.{name}"] = value
+
+        measurements = [f"tenant-{index}" for index in range(tenants)]
+
+        if flavor == "tdx-attestation":
+            pcs = IntelPcs(
+                infra_rng,
+                breaker=CircuitBreaker("pcs", seed=breaker_seed, trace=trace),
+            )
+            qe = QuotingEnclave(pcs, infra_rng)
+            module = TdxModule()
+            cdn = CollateralTier("cluster-cdn")
+
+            def make_service(host: str) -> VerifierService:
+                collateral = TieredCollateral(pcs, cdn=cdn)
+                return VerifierService(
+                    f"tdx-{host}",
+                    TdxVerifier(pcs, collateral=collateral),
+                    collateral=collateral,
+                    concurrency=concurrency,
+                )
+
+            def make_jobs(wave: int):
+                jobs = []
+                for index, measurement in enumerate(measurements):
+                    nonce = ctx.rng.child(
+                        f"nonce/w{wave}/{measurement}").bytes(16)
+
+                    def build(c, m=measurement, n=nonce):
+                        return generate_tdx_quote(module, qe, pcs, c, n,
+                                                  td_identity=m)
+
+                    jobs.append(VerificationJob(
+                        measurement=measurement, nonce=nonce,
+                        build_evidence=build,
+                        arrival_ns=index * wave_gap_ns))
+                return jobs
+
+            host_a = make_service("host-a")
+            host_b = make_service("host-b")
+            with trace.span("wave1-host-a", ctx):
+                fold(host_a.process_batch(make_jobs(1), ctx))
+            with trace.span("wave2-host-b", ctx):
+                fold(host_b.process_batch(make_jobs(2), ctx))
+            with trace.span("wave3-resume", ctx):
+                fold(host_a.process_batch(make_jobs(3), ctx))
+            add_counters("service.host-a", host_a.stats)
+            add_counters("service.host-b", host_b.stats)
+            add_counters("sessions.host-a", host_a.sessions.stats)
+            add_counters("sessions.host-b", host_b.sessions.stats)
+            add_counters("collateral.host-a", host_a.collateral.stats)
+            add_counters("collateral.host-b", host_b.collateral.stats)
+            origin_fetches = (host_a.collateral.stats["origin.fetches"]
+                              + host_b.collateral.stats["origin.fetches"])
+            clean_log_entries = sum(
+                1 for entry in pcs.request_log if "!" not in entry)
+            queue_depth_peak = max(host_a.queue_depth_peak,
+                                   host_b.queue_depth_peak)
+        else:
+            keys = AmdKeyInfrastructure(infra_rng)
+            amd_sp = AmdSecureProcessor()
+            service = VerifierService(
+                "snp-host-a",
+                SnpVerifier(
+                    keys,
+                    breaker=CircuitBreaker("vcek", seed=breaker_seed,
+                                           trace=trace),
+                ),
+                concurrency=concurrency,
+            )
+
+            def make_jobs(wave: int):
+                jobs = []
+                for index, measurement in enumerate(measurements):
+                    nonce = ctx.rng.child(
+                        f"nonce/w{wave}/{measurement}").bytes(16)
+
+                    def build(c, m=measurement, n=nonce):
+                        return generate_snp_report(amd_sp, keys, c, n,
+                                                   guest_identity=m)
+
+                    jobs.append(VerificationJob(
+                        measurement=measurement, nonce=nonce,
+                        build_evidence=build,
+                        arrival_ns=index * wave_gap_ns))
+                return jobs
+
+            with trace.span("wave1-verify", ctx):
+                fold(service.process_batch(make_jobs(1), ctx))
+            with trace.span("wave2-resume", ctx):
+                fold(service.process_batch(make_jobs(2), ctx))
+            add_counters("service.host-a", service.stats)
+            add_counters("sessions.host-a", service.sessions.stats)
+            origin_fetches = 0
+            clean_log_entries = 0
+            queue_depth_peak = service.queue_depth_peak
+
+        return {
+            "tiers": {tier: sorted(values)
+                      for tier, values in sorted(tiers.items())},
+            "queue_wait_ns": queue_waits,
+            "counters": dict(sorted(counters.items())),
+            "reconciled": origin_fetches == clean_log_entries,
+            "origin_fetches": origin_fetches,
+            "clean_log_entries": clean_log_entries,
+            "queue_depth_peak": queue_depth_peak,
+        }
+
+    return body
+
+
 # ---------------------------------------------------------------------------
 # Trial execution (the pure function both executors map over specs)
 # ---------------------------------------------------------------------------

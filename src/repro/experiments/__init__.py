@@ -12,6 +12,7 @@ module                       paper artifact
 :mod:`dbms_table`            §IV-C DBMS findings (per-test ratios)
 :mod:`fig4_unixbench`        Fig. 4 — UnixBench ratios
 :mod:`fig5_attestation`      Fig. 5 — attestation attest/check latency
+:mod:`fig5_service`          Fig. 5 ext — verifier service cache tiers
 :mod:`fig6_heatmap`          Fig. 6 — TDX+SEV FaaS heatmaps
 :mod:`fig7_cca_heatmap`      Fig. 7 — CCA FaaS heatmap
 :mod:`fig8_cca_box`          Fig. 8 — CCA box-and-whiskers
@@ -22,6 +23,7 @@ from repro.experiments.fig3_ml import Fig3Result, run_fig3
 from repro.experiments.dbms_table import DbmsTableResult, run_dbms_table
 from repro.experiments.fig4_unixbench import Fig4Result, run_fig4
 from repro.experiments.fig5_attestation import Fig5Result, run_fig5
+from repro.experiments.fig5_service import Fig5ServiceResult, run_fig5_service
 from repro.experiments.fig6_heatmap import HeatmapResult, run_fig6
 from repro.experiments.fig7_cca_heatmap import run_fig7
 from repro.experiments.fig8_cca_box import Fig8Result, run_fig8
@@ -31,6 +33,7 @@ __all__ = [
     "DbmsTableResult", "run_dbms_table",
     "Fig4Result", "run_fig4",
     "Fig5Result", "run_fig5",
+    "Fig5ServiceResult", "run_fig5_service",
     "HeatmapResult", "run_fig6", "run_fig7",
     "Fig8Result", "run_fig8",
 ]

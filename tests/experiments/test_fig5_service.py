@@ -1,0 +1,42 @@
+"""The fig5-extension experiment: cache tiers, reconciliation, determinism."""
+
+from repro.core.runner import TrialRunner
+from repro.experiments import run_fig5_service
+
+
+def result_key(result):
+    return (result.tier_latencies_ns, result.counters, result.reconciled,
+            result.queue_depth_peak, result.queue_wait_ns, result.metrics)
+
+
+class TestFig5Service:
+    def test_tier_ordering_and_reconciliation(self):
+        result = run_fig5_service(seed=3, trials=1)
+        lat = result.tier_latencies_ns
+        # warm tiers eliminate the origin-fetch latency; sessions
+        # eliminate verification itself
+        assert lat["tdx origin"] > lat["tdx host"]
+        assert lat["tdx origin"] > lat["tdx cdn"]
+        assert lat["tdx session"] < lat["tdx host"] / 100
+        assert lat["sev-snp session"] < lat["sev-snp local"] / 10
+        # the obs counters and the PCS request log tell the same story
+        assert result.reconciled
+        assert result.counters["tdx.collateral.host-a.origin.fetches"] == 4
+        assert result.queue_depth_peak >= 1
+        assert result.render()  # renders without error
+
+    def test_serial_and_parallel_runs_are_identical(self):
+        serial = run_fig5_service(seed=5, trials=2,
+                                  runner=TrialRunner(jobs=1))
+        parallel = run_fig5_service(seed=5, trials=2,
+                                    runner=TrialRunner(jobs=2))
+        assert result_key(serial) == result_key(parallel)
+
+    def test_metrics_snapshot_carries_service_streams(self):
+        result = run_fig5_service(seed=3, trials=1)
+        counters = result.metrics["counters"]
+        assert counters["attest.service.reconciled"] == 1
+        assert counters[
+            "attest.service.tdx.service.host-a.resumed"] > 0
+        histograms = result.metrics["histograms"]
+        assert "attest.service.tdx.verify_ns.origin" in histograms
