@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Chaos smoke test: SIGKILL a sweep mid-run, resume it, demand bit-identity.
 
-For each scenario this driver runs the fig5 attestation sweep three
-times:
+For each scenario this driver runs an experiment sweep (the fig5
+attestation sweep, or the fig9 cluster sweep with host-crash and
+zone-partition faults landing mid-traffic) three times:
 
 1. *baseline* — uninterrupted, no journal, ``--trace-out`` captured;
 2. *interrupted* — the same sweep with ``--resume JOURNAL``, launched
@@ -12,10 +13,11 @@ times:
 3. *resumed* — the same command again against the same journal, run to
    completion.
 
-The resumed run's trace JSON must be byte-identical to the baseline's.
+The resumed run's artifact (trace JSON for fig5, canonical metrics
+snapshot for fig9) must be byte-identical to the baseline's.
 Scenarios cover serial and parallel execution, with and without fault
-injection.  Exit status 0 means every scenario held; 1 names the ones
-that did not.
+injection, plus a cluster chaos scenario.  Exit status 0 means every
+scenario held; 1 names the ones that did not.
 
 Usage::
 
@@ -43,12 +45,37 @@ REPO = Path(__file__).resolve().parent.parent
 # does not have.
 FAULTS = "pcs-timeout=0.3,attest-transient=0.2,seed=7"
 
-#: name -> (jobs, fault spec or None)
+# Cluster-scale weather for the fig9 scenario: hosts crash and a zone
+# partitions *during* the sweep; the gateway's conservation contract
+# (and the resumed run's byte-identity) must hold anyway.
+CLUSTER_FAULTS = "host-crash=0.6,zone-partition=0.5,seed=13"
+
+#: name -> scenario spec:
+#:   experiment — CLI experiment name;
+#:   jobs       — worker count;
+#:   faults     — ``--faults`` spec, or None;
+#:   artifact   — what gets byte-compared between baseline and resumed
+#:                runs: an output flag ("--trace-out" for fig5's trace
+#:                export) or "stdout" (the rendered figure; used for
+#:                fig9, whose metrics snapshot legitimately gains
+#:                ``journal.*`` counters on a resumed run);
+#:   extra      — additional CLI flags (e.g. ``--quick``).
 SCENARIOS = {
-    "serial-clean": (1, None),
-    "serial-faulted": (1, FAULTS),
-    "parallel-clean": (2, None),
-    "parallel-faulted": (2, FAULTS),
+    "serial-clean": {
+        "experiment": "fig5", "jobs": 1, "faults": None,
+        "artifact": "--trace-out", "extra": []},
+    "serial-faulted": {
+        "experiment": "fig5", "jobs": 1, "faults": FAULTS,
+        "artifact": "--trace-out", "extra": []},
+    "parallel-clean": {
+        "experiment": "fig5", "jobs": 2, "faults": None,
+        "artifact": "--trace-out", "extra": []},
+    "parallel-faulted": {
+        "experiment": "fig5", "jobs": 2, "faults": FAULTS,
+        "artifact": "--trace-out", "extra": []},
+    "cluster-chaos": {
+        "experiment": "fig9", "jobs": 2, "faults": CLUSTER_FAULTS,
+        "artifact": "stdout", "extra": ["--quick"]},
 }
 
 
@@ -60,12 +87,28 @@ def cli_env() -> dict[str, str]:
     return env
 
 
-def run_cli(args: list[str], timeout: float) -> None:
-    subprocess.run(
+def run_cli(args: list[str], timeout: float,
+            stdout_to: Path | None = None) -> None:
+    """Run the CLI; optionally capture its rendered stdout to a file.
+
+    Captured stdout drops the run-housekeeping lines (``wrote ...``
+    artifact paths, ``resuming from ...`` banners, ``journal: ...``
+    summaries — all naming run-specific paths or replay/record splits)
+    so what lands in the file is only the rendered figure.
+    """
+    proc = subprocess.run(
         [sys.executable, "-m", "repro.cli", *args],
         cwd=REPO, env=cli_env(), timeout=timeout, check=True,
-        stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        stdout=subprocess.PIPE if stdout_to is not None
+        else subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
     )
+    if stdout_to is not None:
+        housekeeping = ("wrote ", "resuming from ", "journal: ")
+        lines = proc.stdout.decode().splitlines(keepends=True)
+        stdout_to.write_text(
+            "".join(line for line in lines
+                    if not line.startswith(housekeeping)))
 
 
 def journaled_trials(path: Path) -> int:
@@ -105,22 +148,31 @@ def interrupt_sweep(args: list[str], journal: Path, timeout: float) -> int:
 
 def run_scenario(name: str, workdir: Path, trials: int,
                  timeout: float) -> tuple[bool, str]:
-    jobs, faults = SCENARIOS[name]
+    scenario = SCENARIOS[name]
+    artifact = scenario["artifact"]
     baseline = workdir / "baseline.json"
     resumed = workdir / "resumed.json"
     journal = workdir / "journal.jsonl"
-    common = ["experiment", "fig5", "--trials", str(trials),
-              "--jobs", str(jobs)]
-    if faults:
-        common += ["--faults", faults]
+    common = ["experiment", scenario["experiment"],
+              "--trials", str(trials),
+              "--jobs", str(scenario["jobs"]), *scenario["extra"]]
+    if scenario["faults"]:
+        common += ["--faults", scenario["faults"]]
 
-    run_cli([*common, "--trace-out", str(baseline)], timeout)
-    at_kill = interrupt_sweep(
-        [*common, "--resume", str(journal),
-         "--trace-out", str(workdir / "interrupted.json")],
-        journal, timeout)
-    run_cli([*common, "--resume", str(journal),
-             "--trace-out", str(resumed)], timeout)
+    if artifact == "stdout":
+        run_cli(common, timeout, stdout_to=baseline)
+        at_kill = interrupt_sweep(
+            [*common, "--resume", str(journal)], journal, timeout)
+        run_cli([*common, "--resume", str(journal)], timeout,
+                stdout_to=resumed)
+    else:
+        run_cli([*common, artifact, str(baseline)], timeout)
+        at_kill = interrupt_sweep(
+            [*common, "--resume", str(journal),
+             artifact, str(workdir / "interrupted.json")],
+            journal, timeout)
+        run_cli([*common, "--resume", str(journal),
+                 artifact, str(resumed)], timeout)
 
     identical = baseline.read_bytes() == resumed.read_bytes()
     detail = (f"killed with {at_kill} trial(s) journaled; "

@@ -7,7 +7,7 @@
   a function and print per-trial times + perf metrics
 - ``confbench compare -f iostress -l lua -p tdx`` — secure/normal ratio
 - ``confbench serve --port 8080`` — start the REST gateway
-- ``confbench experiment fig3|fig4|fig5|fig6|fig7|fig8|dbms`` —
+- ``confbench experiment fig3|fig4|fig5|fig6|fig7|fig8|fig9|dbms`` —
   regenerate a paper artifact and print it
 - ``confbench profile -f cpustress -l python -p tdx`` — run one
   fig6-style cell and print the virtual-time attribution (per
@@ -83,7 +83,8 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment",
                                      help="regenerate a paper artifact")
     experiment.add_argument("name", choices=(
-        "fig3", "fig4", "fig5", "fig5x", "fig6", "fig7", "fig8", "dbms",
+        "fig3", "fig4", "fig5", "fig5x", "fig6", "fig7", "fig8", "fig9",
+        "dbms",
         "all",
     ))
     experiment.add_argument("--quick", action="store_true",
@@ -568,6 +569,17 @@ def _cmd_experiment(args) -> int:
             runner=runner,
         )
         print(result.render())
+    elif args.name == "fig9":
+        result = experiments.run_fig9(
+            seed=args.seed,
+            trials=trials(1),
+            hosts=4 if quick else 8,
+            requests=8_000 if quick else 120_000,
+            rate_rps=1_400.0 if quick else 2_400.0,
+            runner=runner,
+        )
+        print(result.render())
+        status = 0 if result.conserved else 1
     elif args.name == "fig8":
         result = experiments.run_fig8(
             seed=args.seed,

@@ -3,25 +3,39 @@
 Talks the versioned ``/v1`` API and understands the uniform error
 envelope (``{"error": {"code", "message"}}``); it remains compatible
 with pre-envelope servers whose errors were bare strings.
+
+A 429 (``overloaded``) response is honored, not just reported: the
+client waits out the envelope's ``retry_after_ns`` hint (capped at
+:attr:`max_retry_wait_s`) and retries up to :attr:`overload_retries`
+times before surfacing :class:`~repro.errors.OverloadedError`.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Any
 
-from repro.errors import GatewayError
+from repro.errors import GatewayError, OverloadedError
 
 
 class ConfBenchClient:
     """Talks to a :class:`repro.core.rest.RestServer` over HTTP."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, overload_retries: int = 2,
+                 max_retry_wait_s: float = 1.0) -> None:
+        if overload_retries < 0:
+            raise GatewayError(
+                f"overload_retries must be >= 0, got {overload_retries}")
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        #: extra attempts after a 429 before giving up
+        self.overload_retries = overload_retries
+        #: wall-clock cap on honoring one retry_after_ns hint
+        self.max_retry_wait_s = max_retry_wait_s
 
     @staticmethod
     def _error_detail(body: bytes) -> str:
@@ -36,27 +50,59 @@ class ConfBenchClient:
             return f"[{code}] {message}" if code else str(message)
         return str(error or "")
 
+    @staticmethod
+    def _retry_after_ns(body: bytes) -> float:
+        """The 429 envelope's drain-time hint (0.0 when absent)."""
+        try:
+            error = json.loads(body).get("error", {})
+        except (json.JSONDecodeError, AttributeError):
+            return 0.0
+        if isinstance(error, dict):
+            try:
+                return max(0.0, float(error.get("retry_after_ns", 0.0)))
+            except (TypeError, ValueError):
+                return 0.0
+        return 0.0
+
     def _request(self, method: str, path: str,
                  payload: dict | None = None) -> Any:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode() if payload is not None else None
-        request = urllib.request.Request(
-            url, data=data, method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
+        attempts_left = self.overload_retries
+        while True:
+            request = urllib.request.Request(
+                url, data=data, method=method,
+                headers={"Content-Type": "application/json"},
+            )
             try:
-                detail = self._error_detail(exc.read())
-            except OSError:
-                detail = ""
-            raise GatewayError(
-                f"{method} {path} failed with {exc.code}: {detail}"
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise GatewayError(f"cannot reach gateway at {url}: {exc}") from exc
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as resp:
+                    return json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                try:
+                    body = exc.read()
+                except OSError:
+                    body = b""
+                if exc.code == 429:
+                    hint_ns = self._retry_after_ns(body)
+                    if attempts_left > 0:
+                        attempts_left -= 1
+                        time.sleep(min(hint_ns / 1e9,
+                                       self.max_retry_wait_s))
+                        continue
+                    raise OverloadedError(
+                        f"{method} {path} still overloaded after "
+                        f"{self.overload_retries} retries: "
+                        f"{self._error_detail(body)}",
+                        retry_after_ns=hint_ns,
+                    ) from exc
+                raise GatewayError(
+                    f"{method} {path} failed with {exc.code}: "
+                    f"{self._error_detail(body)}"
+                ) from exc
+            except urllib.error.URLError as exc:
+                raise GatewayError(
+                    f"cannot reach gateway at {url}: {exc}") from exc
 
     # -- API methods ----------------------------------------------------
 

@@ -1,0 +1,87 @@
+"""Per-zone attestation collateral for secure cold boots.
+
+PR 8's :class:`repro.attest.service.TieredCollateral` gave one host a
+three-tier collateral path (host → cluster CDN → PCS/KDS origin).
+At cluster scale the same economics apply per *zone*: every zone runs
+its own CDN replica, each host keeps a host-side cache, and the origin
+sits across the WAN.  A secure cold boot resolves collateral through
+the cheapest warm tier:
+
+- ``host``   — cached on the booting node: one IPC hop;
+- ``cdn``    — the zone replica is warm: a LAN hop, and the fetch
+  warms the node's host tier on the way through;
+- ``origin`` — cold everywhere: the WAN round-trip, warming both the
+  zone CDN and the node;
+- ``stale``  — the origin is blacked out (a ``collateral-outage``
+  fault window) but the zone CDN holds a previously-fetched copy:
+  serve it stale, exactly the PR 8 stale-serving stance;
+- a blackout with a cold CDN fails the boot — the gateway re-places
+  the request in another zone (or degrades it with a record).
+
+Costs are fixed per tier so the collateral tax of a sweep is exactly
+attributable to its hit pattern.
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster.node import ClusterNode
+
+#: virtual cost of resolving collateral per tier (ns)
+HOST_TIER_NS = 200_000.0
+CDN_TIER_NS = 1_200_000.0
+ORIGIN_TIER_NS = 25_000_000.0
+
+#: platforms with networked collateral; others (CCA's FVP setup) have
+#: nothing to fetch and boot without touching the tiers
+NETWORKED_PLATFORMS = ("tdx", "sev-snp")
+
+
+class ZoneCollateral:
+    """Zone-replicated collateral caches plus an origin with outages."""
+
+    __slots__ = ("outages", "cdn_warm", "hits")
+
+    def __init__(self, zones: tuple[str, ...]) -> None:
+        #: zone -> (start_ns, end_ns) origin blackout window
+        self.outages: dict[str, tuple[float, float]] = {}
+        #: (zone, platform) -> True once a fetch warmed the replica
+        self.cdn_warm: dict[tuple[str, str], bool] = {}
+        self.hits = {"host": 0, "cdn": 0, "origin": 0, "stale": 0,
+                     "outage_failures": 0, "local": 0}
+        for zone in zones:
+            self.outages.pop(zone, None)   # explicit: no window yet
+
+    def origin_blacked_out(self, zone: str, now_ns: float) -> bool:
+        window = self.outages.get(zone)
+        return window is not None and window[0] <= now_ns < window[1]
+
+    def fetch_ns(self, node: ClusterNode, platform: str,
+                 now_ns: float) -> float | None:
+        """Collateral cost for a secure cold boot, or None on failure.
+
+        Mutates the caches the way a real fetch would: misses warm the
+        tiers they travelled through.
+        """
+        if platform not in NETWORKED_PLATFORMS:
+            self.hits["local"] += 1
+            return 0.0
+        if node.host_collateral.get(platform):
+            self.hits["host"] += 1
+            return HOST_TIER_NS
+        zone = node.profile.zone
+        key = (zone, platform)
+        if self.cdn_warm.get(key):
+            if self.origin_blacked_out(zone, now_ns):
+                # replica holds a copy it cannot refresh: serve stale
+                self.hits["stale"] += 1
+            else:
+                self.hits["cdn"] += 1
+            node.host_collateral[platform] = True
+            return CDN_TIER_NS
+        if self.origin_blacked_out(zone, now_ns):
+            self.hits["outage_failures"] += 1
+            return None
+        self.hits["origin"] += 1
+        self.cdn_warm[key] = True
+        node.host_collateral[platform] = True
+        return ORIGIN_TIER_NS

@@ -1,0 +1,105 @@
+"""Virtual-time health probing: HEALTHY → SUSPECT → DEAD.
+
+The gateway never reads ground truth (a host's crash time or a zone's
+partition window); it learns the way real control planes do — by
+probing and timing out.  Every ``probe_interval_ns`` the monitor sends
+one probe per node; a probe of a crashed host, or of a host inside a
+partitioned zone, goes unanswered and is declared *missed* only after
+``probe_timeout_ns`` more virtual time.  Consecutive misses walk the
+node down the state machine:
+
+- ``suspect_after`` misses → ``SUSPECT``: placement stops handing the
+  node new work and the gateway hedges its in-flight requests;
+- ``dead_after`` misses → ``DEAD``: the gateway fails over everything
+  still on the node.
+
+One answered probe resets the counter and revives ``SUSPECT`` *and*
+``DEAD`` nodes back to ``HEALTHY`` — exactly what happens when a zone
+partition heals: the hosts were fine all along, only unreachable.
+(A crashed host never answers again, so it stays dead.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.cluster.node import ClusterNode, NodeState
+from repro.errors import GatewayError
+
+
+class HealthMonitor:
+    """Probe-driven failure detector over the fleet."""
+
+    __slots__ = (
+        "nodes", "probe_interval_ns", "probe_timeout_ns",
+        "suspect_after", "dead_after", "on_suspect", "on_dead",
+        "partitions", "probes_sent", "probes_missed",
+        "suspected", "died", "recovered",
+    )
+
+    def __init__(self, nodes: list[ClusterNode], *,
+                 probe_interval_ns: float = 500_000_000.0,
+                 probe_timeout_ns: float = 200_000_000.0,
+                 suspect_after: int = 2, dead_after: int = 4,
+                 on_suspect: Callable[[ClusterNode, float], None]
+                 | None = None,
+                 on_dead: Callable[[ClusterNode, float], None]
+                 | None = None) -> None:
+        if probe_interval_ns <= 0 or probe_timeout_ns < 0:
+            raise GatewayError("probe interval must be > 0 and timeout >= 0")
+        if not 1 <= suspect_after < dead_after:
+            raise GatewayError(
+                f"need 1 <= suspect_after < dead_after, got "
+                f"{suspect_after}/{dead_after}")
+        self.nodes = nodes
+        self.probe_interval_ns = probe_interval_ns
+        self.probe_timeout_ns = probe_timeout_ns
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.on_suspect = on_suspect
+        self.on_dead = on_dead
+        #: zone -> (start_ns, end_ns) partition window (fault schedule)
+        self.partitions: dict[str, tuple[float, float]] = {}
+        self.probes_sent = 0
+        self.probes_missed = 0
+        self.suspected = 0
+        self.died = 0
+        self.recovered = 0
+
+    def reachable(self, node: ClusterNode, now_ns: float) -> bool:
+        """Ground truth: would a probe sent at ``now_ns`` be answered?"""
+        if not node.alive_at(now_ns):
+            return False
+        window = self.partitions.get(node.profile.zone)
+        return window is None or not window[0] <= now_ns < window[1]
+
+    def evaluate_round(self, sent_ns: float) -> None:
+        """Apply the outcome of the probe round sent at ``sent_ns``.
+
+        Called ``probe_timeout_ns`` after the round went out (the
+        gateway schedules the evaluation event); reachability is judged
+        at send time, transitions land at evaluation time.
+        """
+        now_ns = sent_ns + self.probe_timeout_ns
+        for node in self.nodes:
+            self.probes_sent += 1
+            if self.reachable(node, sent_ns):
+                node.missed_probes = 0
+                if node.state is not NodeState.HEALTHY:
+                    node.state = NodeState.HEALTHY
+                    self.recovered += 1
+                continue
+            self.probes_missed += 1
+            node.missed_probes += 1
+            if (node.missed_probes >= self.dead_after
+                    and node.state is not NodeState.DEAD):
+                node.state = NodeState.DEAD
+                self.died += 1
+                if self.on_dead is not None:
+                    self.on_dead(node, now_ns)
+            elif (node.missed_probes >= self.suspect_after
+                    and node.state is NodeState.HEALTHY):
+                node.state = NodeState.SUSPECT
+                self.suspected += 1
+                if self.on_suspect is not None:
+                    self.on_suspect(node, now_ns)

@@ -1,0 +1,105 @@
+"""Progressive overload control: the brownout ladder.
+
+Open-loop traffic does not slow down when the fleet does, so an
+overloaded cluster must shed work *deliberately* or collapse (queues
+grow without bound, every request times out, goodput goes to zero).
+The controller degrades in stages keyed to dispatch-queue occupancy —
+brownout, not blackout:
+
+1. ``NORMAL``        — place immediately, queue only on capacity miss;
+2. ``DROP_TELEMETRY``— keep serving but stop recording the *optional*
+   per-request latency samples (counters still tally), shedding
+   observability cost first because it is the only load the operator
+   can lose without breaking anyone;
+3. ``QUEUE``         — stop placing on arrival; every new request is
+   paced through the FIFO dispatch queue, smoothing the burst;
+4. ``SHED``          — the queue is full: refuse new arrivals with a
+   *shed record* carrying a deterministic ``retry_after_ns`` hint
+   (estimated queue drain time), never a silent drop.
+
+Thresholds are fractions of ``queue_cap``, so one knob scales the
+whole ladder with fleet size.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import GatewayError
+
+
+class BrownoutLevel(enum.IntEnum):
+    """Ladder position; higher levels imply every lower mitigation."""
+
+    NORMAL = 0
+    DROP_TELEMETRY = 1
+    QUEUE = 2
+    SHED = 3
+
+
+class OverloadController:
+    """Maps queue occupancy to a :class:`BrownoutLevel`."""
+
+    __slots__ = (
+        "queue_cap", "telemetry_at", "queue_at", "drain_ns_per_request",
+        "level", "transitions", "time_at_level_ns", "_since_ns",
+    )
+
+    def __init__(self, queue_cap: int, *,
+                 telemetry_at: float = 0.5, queue_at: float = 0.8,
+                 drain_ns_per_request: float = 2_000_000.0) -> None:
+        if queue_cap < 1:
+            raise GatewayError(f"queue_cap must be >= 1, got {queue_cap}")
+        if not 0.0 < telemetry_at <= queue_at <= 1.0:
+            raise GatewayError(
+                f"need 0 < telemetry_at <= queue_at <= 1, got "
+                f"{telemetry_at}/{queue_at}")
+        self.queue_cap = queue_cap
+        self.telemetry_at = telemetry_at
+        self.queue_at = queue_at
+        #: the retry-after hint's estimate of how long the fleet takes
+        #: to drain one queued request (a config constant, so the hint
+        #: is a pure function of queue depth)
+        self.drain_ns_per_request = drain_ns_per_request
+        self.level = BrownoutLevel.NORMAL
+        #: per-level count of upward/downward transitions *into* it
+        self.transitions = {level: 0 for level in BrownoutLevel}
+        #: virtual time spent at each level
+        self.time_at_level_ns = {level: 0.0 for level in BrownoutLevel}
+        self._since_ns = 0.0
+
+    def classify(self, queued: int) -> BrownoutLevel:
+        """The ladder level for a dispatch-queue depth (pure)."""
+        if queued >= self.queue_cap:
+            return BrownoutLevel.SHED
+        occupancy = queued / self.queue_cap
+        if occupancy >= self.queue_at:
+            return BrownoutLevel.QUEUE
+        if occupancy >= self.telemetry_at:
+            return BrownoutLevel.DROP_TELEMETRY
+        return BrownoutLevel.NORMAL
+
+    def observe(self, queued: int, now_ns: float) -> BrownoutLevel:
+        """Update the ladder for the current depth; returns the level."""
+        level = self.classify(queued)
+        if level is not self.level:
+            self.time_at_level_ns[self.level] += now_ns - self._since_ns
+            self._since_ns = now_ns
+            self.level = level
+            self.transitions[level] += 1
+        return level
+
+    def finish(self, now_ns: float) -> None:
+        """Close the open time-at-level interval at end of sweep."""
+        self.time_at_level_ns[self.level] += now_ns - self._since_ns
+        self._since_ns = now_ns
+
+    def retry_after_ns(self, queued: int) -> float:
+        """The deterministic hint attached to a shed record.
+
+        The estimated time for the queue to drain to the QUEUE
+        threshold — exactly the earliest point a retry could be
+        admitted rather than shed again.
+        """
+        backlog = queued - int(self.queue_cap * self.queue_at)
+        return max(backlog, 1) * self.drain_ns_per_request

@@ -1,0 +1,75 @@
+"""Host hardware profiles and deterministic fleet construction.
+
+A real confidential-FaaS fleet is heterogeneous: machine generations
+mix, per-host silicon speed varies a few percent, and hosts are
+spread across failure domains (zones) so one rack losing power does
+not take the service down.  ``build_fleet`` reproduces all three
+deterministically: generations and platforms cycle, zones round-robin
+(so every zone holds ⌈N/zones⌉ hosts at most), and each host's speed
+factor is drawn from a label-derived substream — adding host N+1
+never changes host K's hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GatewayError
+from repro.sim.rng import SimRng
+
+#: TEE platform cycle across the fleet (matches the paper's trio).
+PLATFORM_CYCLE: tuple[str, ...] = ("tdx", "sev-snp", "cca")
+
+#: default failure domains
+DEFAULT_ZONES: tuple[str, ...] = ("zone-a", "zone-b", "zone-c")
+
+#: machine generations: (generation, cores, memory_mib) — the shapes
+#: cycle so any fleet larger than three hosts is heterogeneous
+GENERATIONS: tuple[tuple[str, int, int], ...] = (
+    ("m1", 8, 16384),
+    ("m2", 16, 32768),
+    ("m3", 12, 24576),
+)
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """Immutable hardware facts of one simulated cluster host."""
+
+    name: str           # "host-00", stable sort key for tie-breaks
+    zone: str           # failure domain
+    platform: str       # TEE platform this host runs ("tdx", ...)
+    generation: str     # machine generation label
+    cores: int          # concurrent request slots
+    memory_mib: int     # guest memory capacity
+    speed: float        # relative compute speed (1.0 = nominal)
+
+
+def build_fleet(hosts: int, seed: int = 0,
+                zones: tuple[str, ...] = DEFAULT_ZONES
+                ) -> tuple[HostProfile, ...]:
+    """A deterministic heterogeneous fleet of ``hosts`` profiles.
+
+    Host ``i``'s shape is a pure function of ``(seed, i)``: generation
+    and platform cycle by index, the zone round-robins, and the speed
+    factor comes from the host's own substream.
+    """
+    if hosts < 1:
+        raise GatewayError(f"fleet needs >= 1 host, got {hosts}")
+    if not zones:
+        raise GatewayError("fleet needs at least one zone")
+    fleet = []
+    for index in range(hosts):
+        generation, cores, memory_mib = GENERATIONS[index % len(GENERATIONS)]
+        speed = SimRng(seed, f"fleet/host-{index:02d}/speed").uniform(
+            0.85, 1.20)
+        fleet.append(HostProfile(
+            name=f"host-{index:02d}",
+            zone=zones[index % len(zones)],
+            platform=PLATFORM_CYCLE[index % len(PLATFORM_CYCLE)],
+            generation=generation,
+            cores=cores,
+            memory_mib=memory_mib,
+            speed=round(speed, 4),
+        ))
+    return tuple(fleet)

@@ -1,0 +1,161 @@
+"""Seeded open-loop traffic: arrival processes and tenant mixes.
+
+Open-loop means arrivals do not wait for the fleet: the generator
+draws the next interarrival gap regardless of how backed up the
+cluster is, which is what makes overload *possible* (a closed-loop
+generator self-throttles and can never brown the service out).
+
+Three arrival processes cover the shapes real FaaS front doors see:
+
+- ``poisson``  — memoryless arrivals at a constant mean rate;
+- ``diurnal``  — the same, with the rate modulated sinusoidally over a
+  (compressed) day, so the sweep sees both the trough and the peak;
+- ``burst``    — a Poisson baseline with periodic windows at
+  ``burst_factor`` times the rate (the thundering-herd case).
+
+The tenant mix draws functions from the paper's 25-workload FaaS set
+with Zipf-like popularity (a few hot functions, a long tail — the
+standard serverless production finding).  Per-function cost, memory
+footprint, and platform affinity derive from the workload's trait and
+a label-derived substream, so the mix is identical for every consumer
+of the same seed.
+
+All draws happen *sequentially in arrival order* from two dedicated
+streams, so a traffic trace is a pure function of ``(spec, seed)`` —
+independent of anything the cluster does with the requests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GatewayError
+from repro.sim.rng import SimRng
+from repro.workloads.base import WorkloadTrait
+from repro.workloads.faas.registry import figure_workloads
+
+#: per-trait base service cost (ns) and guest memory (MiB)
+_TRAIT_COST_NS = {
+    WorkloadTrait.CPU: 18_000_000.0,
+    WorkloadTrait.MEMORY: 12_000_000.0,
+    WorkloadTrait.IO: 25_000_000.0,
+    WorkloadTrait.MIXED: 20_000_000.0,
+}
+_TRAIT_MEMORY_MIB = {
+    WorkloadTrait.CPU: 512,
+    WorkloadTrait.MEMORY: 2048,
+    WorkloadTrait.IO: 1024,
+    WorkloadTrait.MIXED: 1536,
+}
+
+_PROCESSES = ("poisson", "diurnal", "burst")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Declarative description of one open-loop workload."""
+
+    process: str = "poisson"        # arrival process name
+    requests: int = 10_000          # open-loop arrivals to generate
+    rate_rps: float = 2_000.0       # mean arrival rate
+    secure_fraction: float = 0.75   # share of requests demanding a CVM
+    burst_factor: float = 6.0       # burst window rate multiplier
+    burst_every_s: float = 20.0     # burst period
+    burst_len_s: float = 4.0        # burst window length
+    diurnal_period_s: float = 120.0  # compressed "day" length
+    diurnal_swing: float = 0.8      # peak/trough amplitude (0..1)
+
+    def __post_init__(self) -> None:
+        if self.process not in _PROCESSES:
+            raise GatewayError(
+                f"unknown arrival process {self.process!r}; known: "
+                f"{', '.join(_PROCESSES)}")
+        if self.requests < 1 or self.rate_rps <= 0:
+            raise GatewayError("traffic needs requests >= 1 and rate > 0")
+        if not 0.0 <= self.secure_fraction <= 1.0:
+            raise GatewayError("secure_fraction must be in [0, 1]")
+
+    @property
+    def horizon_ns(self) -> float:
+        """Expected span of the arrival trace (fault-window scale)."""
+        return self.requests * 1e9 / self.rate_rps
+
+
+class TenantMix:
+    """Zipf-weighted mix over the 25 paper FaaS functions."""
+
+    __slots__ = ("names", "costs_ns", "memory_mib", "platforms",
+                 "_cumulative")
+
+    def __init__(self, platforms: tuple[str, ...]) -> None:
+        workloads = figure_workloads()
+        self.names = tuple(w.name for w in workloads)
+        self.costs_ns = []
+        self.memory_mib = []
+        self.platforms = []
+        weights = []
+        for index, workload in enumerate(workloads):
+            # per-function factors come from a *fixed* substream — the
+            # cost model is a property of the workload, not the trial
+            factor = SimRng(0, f"cluster-mix/{workload.name}").uniform(
+                0.6, 1.6)
+            self.costs_ns.append(_TRAIT_COST_NS[workload.trait] * factor)
+            self.memory_mib.append(_TRAIT_MEMORY_MIB[workload.trait])
+            self.platforms.append(platforms[index % len(platforms)])
+            weights.append(1.0 / (index + 1) ** 0.9)   # Zipf-ish tail
+        total = sum(weights)
+        running = 0.0
+        cumulative = []
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def draw(self, u: float) -> int:
+        """Function index for a uniform draw ``u`` in [0, 1)."""
+        cumulative = self._cumulative
+        # 25 entries: a linear scan beats bisect's call overhead and
+        # the hot head of the Zipf mix exits in the first few steps
+        for index, edge in enumerate(cumulative):
+            if u < edge:
+                return index
+        return len(cumulative) - 1
+
+
+class TrafficGenerator:
+    """Sequential, seeded request source for one sweep."""
+
+    __slots__ = ("spec", "mix", "_arrivals", "_tenants")
+
+    def __init__(self, spec: TrafficSpec, mix: TenantMix,
+                 seed: int) -> None:
+        self.spec = spec
+        self.mix = mix
+        self._arrivals = SimRng(seed, "traffic/arrivals")
+        self._tenants = SimRng(seed, "traffic/tenants")
+
+    def rate_at(self, now_ns: float) -> float:
+        """Instantaneous arrival rate (requests/s) at ``now_ns``."""
+        spec = self.spec
+        if spec.process == "diurnal":
+            phase = 2.0 * math.pi * (now_ns / 1e9) / spec.diurnal_period_s
+            return spec.rate_rps * (1.0 + spec.diurnal_swing
+                                    * math.sin(phase))
+        if spec.process == "burst":
+            into_period = (now_ns / 1e9) % spec.burst_every_s
+            if into_period < spec.burst_len_s:
+                return spec.rate_rps * spec.burst_factor
+            return spec.rate_rps
+        return spec.rate_rps
+
+    def next_gap_ns(self, now_ns: float) -> float:
+        """Interarrival gap after an arrival at ``now_ns``."""
+        return self._arrivals.exponential(1e9 / self.rate_at(now_ns))
+
+    def next_tenant(self) -> tuple[int, bool]:
+        """(function index, secure flag) for the next arrival."""
+        index = self.mix.draw(self._tenants.random())
+        secure = self._tenants.bernoulli(self.spec.secure_fraction)
+        return index, secure

@@ -11,6 +11,7 @@ with perf metrics piggybacked.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Any
@@ -24,7 +25,7 @@ from repro.core.pool import LoadBalancingPolicy, TeePool
 from repro.core.results import InvocationRecord
 from repro.core.runner import TrialRunner
 from repro.core.storage import FunctionStore
-from repro.errors import GatewayError, PoolExhaustedError
+from repro.errors import GatewayError, OverloadedError, PoolExhaustedError
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.faults import FaultPlan
 from repro.tee.registry import platform_by_name
@@ -32,6 +33,11 @@ from repro.tee.vm import RunResult
 
 #: deprecation messages already issued this process (warn once each)
 _WARNED: set[str] = set()
+
+#: the 429 hint's estimate of how long one backlogged trial takes to
+#: drain — a config constant, so ``retry_after_ns`` is a pure function
+#: of the backlog depth at rejection time
+SHED_RETRY_NS_PER_TRIAL = 50_000_000.0
 
 
 def warn_once(message: str) -> None:
@@ -62,6 +68,9 @@ class GatewayStats:
     trials_completed: int = 0
     trials_degraded: int = 0
     trials_shed: int = 0
+    #: whole invocations refused at admission (HTTP 429): their trials
+    #: never entered the queue, so they are *not* in trials_requested
+    invocations_rejected: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """JSON-able form (what GET /stats would return)."""
@@ -71,6 +80,7 @@ class GatewayStats:
             "trials_completed": self.trials_completed,
             "trials_degraded": self.trials_degraded,
             "trials_shed": self.trials_shed,
+            "invocations_rejected": self.invocations_rejected,
         }
 
 
@@ -108,6 +118,15 @@ class Gateway:
         #: are *shed* (returned as zero-attempt records) instead of
         #: queued without bound.  None = admit everything.
         self.max_pending = max_pending
+        #: cross-invocation backlog: trials admitted but not yet done,
+        #: summed over concurrent invocations (the REST server is
+        #: threaded, so invocations genuinely overlap).  Guarded by a
+        #: lock; when an arriving invocation finds the backlog already
+        #: at ``max_pending``, it is refused whole with
+        #: :class:`~repro.errors.OverloadedError` (HTTP 429) carrying a
+        #: deterministic drain-time hint.
+        self._backlog_lock = threading.Lock()
+        self._backlog_trials = 0
         self.stats = GatewayStats()
         #: unified telemetry registry (shared with the runner and every
         #: pool) — what ``GET /v1/metrics`` and ``ConfBench.metrics()``
@@ -253,7 +272,12 @@ class Gateway:
 
         admitted = self._admit(one_trial, pool,
                                request.function, request.language)
-        return self._account(trials, self.runner.run_trials(trials, admitted))
+        self._admit_invocation(trials)
+        try:
+            records = self.runner.run_trials(trials, admitted)
+        finally:
+            self._release_invocation(trials)
+        return self._account(trials, records)
 
     def invoke_classic(self, name: str, fn, *, platform: str = "tdx",
                        secure: bool = True, trials: int | None = None,
@@ -290,7 +314,12 @@ class Gateway:
             )
 
         admitted = self._admit(one_trial, pool, name, None)
-        return self._account(trials, self.runner.run_trials(trials, admitted))
+        self._admit_invocation(trials)
+        try:
+            records = self.runner.run_trials(trials, admitted)
+        finally:
+            self._release_invocation(trials)
+        return self._account(trials, records)
 
     def invoke_native(self, name: str, fn, platform: str, secure: bool,
                       trials: int = 1, *fn_args,
@@ -309,6 +338,37 @@ class Gateway:
         return self.invoke_classic(name, fn, platform=platform,
                                    secure=secure, trials=trials,
                                    fn_args=fn_args, fn_kwargs=fn_kwargs)
+
+    def _admit_invocation(self, trials: int) -> None:
+        """Admit (or refuse) a whole invocation against the backlog.
+
+        A single invocation from idle is always admitted — per-trial
+        shedding inside :meth:`_admit` still applies — so serial usage
+        is unchanged.  Only when *concurrent* invocations have already
+        filled the backlog to ``max_pending`` is the newcomer refused,
+        with ``retry_after_ns`` estimating the backlog's drain time
+        (a pure function of the depth at rejection).
+        """
+        if self.max_pending is None:
+            return
+        with self._backlog_lock:
+            backlog = self._backlog_trials
+            if backlog >= self.max_pending:
+                self.stats.invocations_rejected += 1
+                self.metrics.count("gateway.invocations_rejected", 1)
+                excess = backlog + trials - self.max_pending
+                raise OverloadedError(
+                    f"gateway backlog at capacity ({backlog}/"
+                    f"{self.max_pending} trials pending); retry later",
+                    retry_after_ns=max(excess, 1) * SHED_RETRY_NS_PER_TRIAL,
+                )
+            self._backlog_trials = backlog + trials
+
+    def _release_invocation(self, trials: int) -> None:
+        if self.max_pending is None:
+            return
+        with self._backlog_lock:
+            self._backlog_trials -= trials
 
     def _admit(self, one_trial, pool: TeePool, function: str,
                language: str | None):

@@ -27,6 +27,12 @@ with an ``Allow`` header for a known resource hit with the wrong
 method (``method_not_allowed``).  ``POST /v1/invoke`` is strict: a
 body field outside the documented set is a 400 (the legacy ``/invoke``
 alias keeps ignoring unknown fields).
+
+A gateway whose cross-invocation backlog is at capacity sheds the
+request with 429 (``overloaded``): the envelope gains a deterministic
+``retry_after_ns`` drain-time hint and the standard ``Retry-After``
+header mirrors it in whole seconds — a shed with a record, never a
+silent drop.
 """
 
 from __future__ import annotations
@@ -35,8 +41,10 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+import math
+
 from repro.core.gateway import Gateway, InvocationRequest
-from repro.errors import ConfBenchError
+from repro.errors import ConfBenchError, OverloadedError
 
 #: resource path (version prefix stripped) -> {HTTP method: handler name}
 _ROUTES: dict[str, dict[str, str]] = {
@@ -109,6 +117,18 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             getattr(self, f"_handle_{name}")(versioned)
+        except OverloadedError as exc:
+            # shed with a record, never silently: the envelope carries
+            # the deterministic drain-time hint and the standard
+            # Retry-After header mirrors it in (rounded-up) seconds
+            self._send(429, {"error": {
+                "code": "overloaded",
+                "message": str(exc),
+                "retry_after_ns": exc.retry_after_ns,
+            }}, headers={
+                "Retry-After": str(max(
+                    1, math.ceil(exc.retry_after_ns / 1e9))),
+            })
         except ConfBenchError as exc:
             self._error(400, "bad_request", str(exc))
 

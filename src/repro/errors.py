@@ -151,6 +151,20 @@ class PoolExhaustedError(GatewayError):
     """A TEE pool has no VM able to take the request."""
 
 
+class OverloadedError(GatewayError):
+    """The gateway shed this request (brownout: backlog at capacity).
+
+    ``retry_after_ns`` is the deterministic drain-time hint the shed
+    record carries — the earliest virtual time a retry could be
+    admitted rather than shed again.  The REST layer maps this to an
+    HTTP 429 with a ``Retry-After`` header; clients honor the hint.
+    """
+
+    def __init__(self, message: str, retry_after_ns: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ns = retry_after_ns
+
+
 class RelayError(ConfBenchError):
     """Errors from the socat-style TCP relay."""
 

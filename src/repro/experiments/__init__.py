@@ -16,6 +16,7 @@ module                       paper artifact
 :mod:`fig6_heatmap`          Fig. 6 — TDX+SEV FaaS heatmaps
 :mod:`fig7_cca_heatmap`      Fig. 7 — CCA FaaS heatmap
 :mod:`fig8_cca_box`          Fig. 8 — CCA box-and-whiskers
+:mod:`fig9_cluster`          Fig. 9 ext — cluster resilience sweep
 ==========================  ==========================================
 """
 
@@ -27,6 +28,7 @@ from repro.experiments.fig5_service import Fig5ServiceResult, run_fig5_service
 from repro.experiments.fig6_heatmap import HeatmapResult, run_fig6
 from repro.experiments.fig7_cca_heatmap import run_fig7
 from repro.experiments.fig8_cca_box import Fig8Result, run_fig8
+from repro.experiments.fig9_cluster import Fig9ClusterResult, run_fig9
 
 __all__ = [
     "Fig3Result", "run_fig3",
@@ -36,4 +38,5 @@ __all__ = [
     "Fig5ServiceResult", "run_fig5_service",
     "HeatmapResult", "run_fig6", "run_fig7",
     "Fig8Result", "run_fig8",
+    "Fig9ClusterResult", "run_fig9",
 ]

@@ -122,3 +122,44 @@ class EventLoop:
         if until_ns is not None:
             self.clock.advance_to(until_ns)
         return executed
+
+
+class LeanEventQueue:
+    """A bare-tuple event heap for million-event simulations.
+
+    :class:`EventLoop` pays an :class:`Event` object, dataclass
+    comparisons, and a clock sync per event — fine for network hops,
+    too heavy for the cluster engine, which pushes several events per
+    request across sweeps of 10^6 requests.  This queue stores plain
+    ``(time_ns, seq, kind, payload)`` tuples: ordering is (time,
+    insertion sequence) — the same stable contract as
+    :class:`EventLoop` — and ``seq`` is unique, so ``kind``/``payload``
+    are never compared.  There is no cancellation; consumers mark
+    state on the payload and skip stale entries on pop, which costs
+    nothing on the heap.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+        self._seq = 0
+
+    def push(self, time_ns: float, kind: int, payload) -> None:
+        """Schedule ``(kind, payload)`` at absolute virtual ``time_ns``."""
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ns, self._seq, kind, payload))
+
+    def pop(self) -> tuple:
+        """The earliest ``(time_ns, seq, kind, payload)`` tuple."""
+        return heapq.heappop(self._heap)
+
+    def peek_time_ns(self) -> float | None:
+        """Virtual time of the next event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -51,6 +51,12 @@ class FaultKind(enum.Enum):
     ATTEST_TRANSIENT = "attest-transient"  # transient verification failure
     PCS_TIMEOUT = "pcs-timeout"         # collateral fetch times out
     RELAY_DROP = "relay-drop"           # the TCP relay drops a connection
+    # cluster-scale kinds (consumed by repro.core.cluster): these are
+    # *windows on a virtual timeline* rather than per-call coin flips
+    HOST_CRASH = "host-crash"           # a whole cluster host dies
+    ZONE_PARTITION = "zone-partition"   # a failure domain drops off the net
+    DEGRADED_HOST = "degraded-host"     # a host runs slowed by slow_factor
+    COLLATERAL_OUTAGE = "collateral-outage"  # per-zone PCS/CDN blackout
 
     @classmethod
     def parse(cls, name: str) -> "FaultKind":
@@ -112,6 +118,43 @@ class FaultPlan:
         """Virtual time a crashed VM burned before dying."""
         draw = SimRng(self.seed, f"fault/waste/{label}").uniform(0.1, 1.0)
         return draw * CRASH_WASTE_SCALE_NS
+
+    # -- cluster-scale timeline faults ---------------------------------
+
+    #: largest fraction of the horizon a fault window may span
+    WINDOW_SCALE = 0.25
+
+    def event_at_ns(self, kind: FaultKind, label: str,
+                    horizon_ns: float) -> float | None:
+        """When a one-shot fault (a host crash) fires, or None.
+
+        Whether the fault fires at all is the usual label-derived
+        Bernoulli; its position comes from an independent substream of
+        the same label, drawn uniformly inside the middle of the
+        horizon so the sweep always observes both the healthy prefix
+        and the degraded suffix.  Pure function of (seed, kind, label,
+        horizon) — scheduling order never matters.
+        """
+        if not self.triggers(kind, label):
+            return None
+        rng = SimRng(self.seed, f"fault/at/{kind.value}/{label}")
+        return rng.uniform(0.10, 0.90) * horizon_ns
+
+    def window_ns(self, kind: FaultKind, label: str,
+                  horizon_ns: float) -> tuple[float, float] | None:
+        """A ``(start_ns, end_ns)`` fault window on the timeline, or None.
+
+        Used by the cluster layer for zone partitions, degraded-host
+        slowdowns, and collateral outages: the window exists with the
+        kind's rate and spans up to :data:`WINDOW_SCALE` of the
+        horizon.  Same determinism contract as :meth:`event_at_ns`.
+        """
+        if not self.triggers(kind, label):
+            return None
+        rng = SimRng(self.seed, f"fault/window/{kind.value}/{label}")
+        start = rng.uniform(0.05, 0.70) * horizon_ns
+        duration = rng.uniform(0.5, 1.0) * self.WINDOW_SCALE * horizon_ns
+        return (start, min(start + duration, horizon_ns))
 
     # -- the canonical spec-string form --------------------------------
 

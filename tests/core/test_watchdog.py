@@ -26,6 +26,8 @@ from repro.core.runner import (
     execute_trial,
 )
 from repro.errors import TrialBudgetError
+from repro.sim.ledger import CostCategory
+from repro.sim.faults import FaultKind
 
 FORK = multiprocessing.get_context("fork")
 
@@ -80,6 +82,40 @@ def _chaos_hang_body(spec):
             time.sleep(600)   # far beyond any test timeout: only the
                               # watchdog's pool kill gets us out
         return {"survived": True}
+
+    return body
+
+
+@body_factory("chaos-faas")
+def _chaos_faas_body(spec):
+    """Deterministic seeded work that SIGKILLs its worker once mid-sweep.
+
+    Unlike ``chaos-kill`` this body produces a *non-trivial* result —
+    seeded draws, a fault-plan coin flip, a ledger charge — so the
+    resume tests below can assert bit-identity of real payloads, not
+    just survival.  ``kill_trial`` picks which trial murders its
+    worker (guarded by ``sentinel`` so the respawned attempt runs
+    clean and converges on the uninterrupted result).
+    """
+    sentinel = spec.params["sentinel"]
+    kill_trial = spec.params.get("kill_trial", -1)
+
+    def body(kernel):
+        ctx = kernel.ctx
+        # the factory is memoized without the trial index, so the body
+        # recovers it from the trial's rng stream label (".../{trial}")
+        trial = int(ctx.rng.label.rsplit("/", 1)[1])
+        if trial == kill_trial and not os.path.exists(sentinel):
+            with open(sentinel, "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        draws = [ctx.rng.child(f"work/{i}").uniform(0.0, 1.0)
+                 for i in range(4)]
+        slow = bool(ctx.faults is not None
+                    and ctx.faults.triggers(FaultKind.PCS_TIMEOUT, "/chaos"))
+        ctx.charge(CostCategory.CPU,
+                   5_000_000.0 * (2.0 if slow else 1.0) * (1.0 + sum(draws)))
+        return {"draws": draws, "slow": slow}
 
     return body
 
@@ -182,6 +218,72 @@ class TestWorkerDeathRespawn:
             results = runner.run(plan)
             assert journal.recorded == 2
         assert all(r.output == {"survived": True} for r in results)
+
+
+class TestResumeUnderFaults:
+    """``--resume`` journal replay across a pool-watchdog respawn.
+
+    The sweep runs under an *active* :class:`FaultPlan` (nonzero
+    rates, so the retry path is selected) while one trial SIGKILLs its
+    worker mid-sweep.  The watchdog respawns the pool, the journal
+    preserves the completed prefix, and both the recovered sweep and a
+    later journal-only resume must be bit-identical to an
+    uninterrupted run.
+    """
+
+    FAULTS = "vm-crash=0.3,pcs-timeout=0.5,seed=7"
+
+    def faulted_plan(self, tmp_path, trials=4, kill_trial=2):
+        shared = str(tmp_path / "sentinel-shared")
+        specs = tuple(
+            chaos_spec("chaos-faas", tmp_path, trial=t,
+                       kill_trial=kill_trial, sentinel=shared)
+            for t in range(trials)
+        )
+        # params feed the content hash, so the sentinel path must be
+        # identical across runs for the journal to recognize the specs
+        return TrialPlan(specs=specs).with_faults(self.FAULTS)
+
+    def test_resumed_sweep_bit_identical_to_uninterrupted(self, tmp_path):
+        from repro.core.journal import TrialJournal
+
+        plan = self.faulted_plan(tmp_path)
+        sentinel = plan.specs[0].params["sentinel"]
+
+        # uninterrupted baseline: pre-arm the sentinel so nothing dies
+        with open(sentinel, "w"):
+            pass
+        baseline = dump(TrialRunner().run(plan))
+        os.unlink(sentinel)
+
+        # interrupted run: trial 2 SIGKILLs its worker mid-sweep; the
+        # watchdog respawns the pool and the sweep completes
+        with TrialJournal(tmp_path / "sweep.jsonl") as journal:
+            runner = TrialRunner(journal=journal)
+            runner.executor = ParallelTrialExecutor(jobs=2, mp_context=FORK)
+            recovered = dump(runner.run(plan))
+            assert journal.recorded == len(plan.specs)
+        assert os.path.exists(sentinel)   # the worker really died once
+        assert recovered == baseline
+
+        # resume: a fresh runner against the same journal replays all
+        # trials without executing anything (sentinel stays un-rearmed,
+        # so any re-execution of trial 2 would kill its worker again)
+        os.unlink(sentinel)
+        with TrialJournal(tmp_path / "sweep.jsonl") as journal:
+            resumed = dump(TrialRunner(journal=journal).run(plan))
+            assert journal.replayed == len(plan.specs)
+            assert journal.recorded == 0
+        assert not os.path.exists(sentinel)   # proof: nothing re-ran
+        assert resumed == baseline
+
+    def test_faults_actually_active_in_resumed_results(self, tmp_path):
+        # guard against the fault plan silently not applying: the
+        # sweep's results must carry injected-fault records
+        plan = self.faulted_plan(tmp_path, kill_trial=-1)
+        results = TrialRunner().run(plan)
+        assert any(r.faults_injected for r in results)
+        assert any(r.output["slow"] for r in results)
 
 
 class TestHeartbeatWatchdog:

@@ -1,0 +1,71 @@
+"""Tests for the fig9 cluster-resilience experiment harness."""
+
+import json
+
+import pytest
+
+from repro.core.runner import TrialRunner
+from repro.experiments import run_fig9
+from repro.experiments.fig9_cluster import DEFAULT_FIG9_FAULTS
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    # small but real: every arrival process, faults on, two trials
+    return run_fig9(trials=1, hosts=4, requests=4_000, rate_rps=1_200.0)
+
+
+class TestFig9:
+    def test_covers_every_arrival_process(self, fig9):
+        assert set(fig9.rows) == {"poisson", "diurnal", "burst"}
+        for row in fig9.rows.values():
+            assert row["served"] > 0
+            assert 0.0 <= row["shed_rate"] <= 1.0
+            assert row["p50_ns"] <= row["p99_ns"] <= row["p999_ns"]
+
+    def test_conservation_holds_under_default_faults(self, fig9):
+        assert fig9.conserved
+        assert fig9.metrics["counters"]["cluster.conserved"] == 1
+
+    def test_default_fault_plan_lands(self, fig9):
+        # the default weather includes rate-0.3+ kinds over 4 hosts and
+        # 3 zones per process — some geometry must materialize
+        assert fig9.faults_injected
+        kinds = {entry.split("@")[0] for entry in fig9.faults_injected}
+        assert kinds <= {"host-crash", "zone-partition", "degraded-host",
+                         "collateral-outage"}
+
+    def test_zone_utilization_reported_per_zone(self, fig9):
+        assert set(fig9.zone_utilization) == {"zone-a", "zone-b", "zone-c"}
+        assert all(0.0 <= value <= 1.0
+                   for value in fig9.zone_utilization.values())
+
+    def test_metrics_folded_per_process(self, fig9):
+        counters = fig9.metrics["counters"]
+        for process in ("poisson", "diurnal", "burst"):
+            assert counters[f"cluster.{process}.requests"] == 4_000
+
+    def test_render_mentions_the_headline_numbers(self, fig9):
+        text = fig9.render()
+        assert "cluster resilience" in text
+        assert "zone utilization" in text
+        assert "every request finalized" in text
+
+    def test_serial_vs_parallel_snapshots_identical(self):
+        kwargs = dict(trials=1, hosts=4, requests=2_000, rate_rps=1_000.0)
+        serial = run_fig9(runner=TrialRunner(), **kwargs)
+        parallel = run_fig9(runner=TrialRunner(jobs=2), **kwargs)
+        assert (json.dumps(serial.metrics, sort_keys=True)
+                == json.dumps(parallel.metrics, sort_keys=True))
+
+    def test_runner_fault_plan_overrides_default(self):
+        result = run_fig9(trials=1, hosts=2, requests=1_000,
+                          rate_rps=800.0, processes=("poisson",),
+                          runner=TrialRunner(faults="host-crash=1.0,seed=1"))
+        kinds = {entry.split("@")[0] for entry in result.faults_injected}
+        assert kinds == {"host-crash"}
+
+    def test_default_faults_string_is_parseable(self):
+        from repro.sim.faults import FaultPlan
+        plan = FaultPlan.parse(DEFAULT_FIG9_FAULTS)
+        assert plan.active and plan.seed == 9

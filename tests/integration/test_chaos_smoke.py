@@ -22,7 +22,8 @@ def run_smoke(scenario: str) -> subprocess.CompletedProcess:
     )
 
 
-@pytest.mark.parametrize("scenario", ["serial-faulted", "parallel-faulted"])
+@pytest.mark.parametrize("scenario", ["serial-faulted", "parallel-faulted",
+                                      "cluster-chaos"])
 def test_killed_sweep_resumes_bit_identical(scenario):
     proc = run_smoke(scenario)
     assert proc.returncode == 0, proc.stdout + proc.stderr

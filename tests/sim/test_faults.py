@@ -140,6 +140,24 @@ class TestRetryPolicy:
         assert not policy.allows(2, 0.0)
         assert not policy.allows(1, 100.0)
 
+    def test_deadline_boundary_is_exclusive(self):
+        # The deadline is a budget, not a timestamp: an attempt that
+        # would start with the budget exactly exhausted is refused.
+        # spent_ns == deadline_ns must behave like spent > deadline,
+        # and the next representable float below must still pass.
+        policy = RetryPolicy(max_attempts=10, deadline_ns=1_000_000.0)
+        import math
+        just_under = math.nextafter(1_000_000.0, 0.0)
+        assert policy.allows(0, just_under)
+        assert not policy.allows(0, 1_000_000.0)
+        assert not policy.allows(0, math.nextafter(1_000_000.0, math.inf))
+
+    def test_zero_deadline_refuses_even_first_retry_window(self):
+        # Degenerate budget: with deadline_ns=0 nothing may start at
+        # spent_ns=0.0 (0 >= 0), while deadline_ns=None is unbounded.
+        assert not RetryPolicy(deadline_ns=0.0).allows(0, 0.0)
+        assert RetryPolicy(deadline_ns=None).allows(0, 1e18)
+
     def test_validation(self):
         with pytest.raises(SimulationError):
             RetryPolicy(max_attempts=0)
@@ -258,3 +276,65 @@ class TestCircuitBreaker:
         assert marks == ["breaker/pcs/open", "breaker/pcs/half-open",
                          "breaker/pcs/closed"]
         assert all(span.duration_ns == 0.0 for span in trace.spans)
+
+
+class TestClusterFaultGeometry:
+    """event_at_ns / window_ns: the cluster layer's timeline faults."""
+
+    HORIZON = 1_000_000.0
+
+    def plan(self, rate=1.0, seed=0):
+        return FaultPlan(seed=seed, rates={FaultKind.HOST_CRASH: rate,
+                                           FaultKind.ZONE_PARTITION: rate})
+
+    def test_zero_rate_yields_no_geometry(self):
+        plan = self.plan(rate=0.0)
+        assert plan.event_at_ns(FaultKind.HOST_CRASH, "h0",
+                                self.HORIZON) is None
+        assert plan.window_ns(FaultKind.ZONE_PARTITION, "z0",
+                              self.HORIZON) is None
+
+    def test_event_lands_inside_the_middle_of_the_horizon(self):
+        plan = self.plan()
+        for label in ("host-00", "host-01", "host-02"):
+            at = plan.event_at_ns(FaultKind.HOST_CRASH, label,
+                                  self.HORIZON)
+            assert 0.10 * self.HORIZON <= at <= 0.90 * self.HORIZON
+
+    def test_window_bounded_by_scale_and_horizon(self):
+        plan = self.plan()
+        for label in ("zone-a", "zone-b", "zone-c"):
+            start, end = plan.window_ns(FaultKind.ZONE_PARTITION, label,
+                                        self.HORIZON)
+            assert 0.05 * self.HORIZON <= start <= 0.70 * self.HORIZON
+            assert start < end <= self.HORIZON
+            assert (end - start
+                    <= FaultPlan.WINDOW_SCALE * self.HORIZON + 1e-6)
+
+    def test_geometry_is_pure_function_of_inputs(self):
+        first = self.plan(seed=9).event_at_ns(
+            FaultKind.HOST_CRASH, "h0", self.HORIZON)
+        again = self.plan(seed=9).event_at_ns(
+            FaultKind.HOST_CRASH, "h0", self.HORIZON)
+        assert first == again
+        other_label = self.plan(seed=9).event_at_ns(
+            FaultKind.HOST_CRASH, "h1", self.HORIZON)
+        assert first != other_label
+
+    def test_position_independent_of_trigger_stream(self):
+        # the placement substream is separate from the Bernoulli one,
+        # so a plan where the fault *happens* to fire at a low rate
+        # puts it at the same spot as a rate-1.0 plan
+        low = FaultPlan(seed=4, rates={FaultKind.HOST_CRASH: 0.9999})
+        high = FaultPlan(seed=4, rates={FaultKind.HOST_CRASH: 1.0})
+        assert (low.event_at_ns(FaultKind.HOST_CRASH, "hX", self.HORIZON)
+                == high.event_at_ns(FaultKind.HOST_CRASH, "hX",
+                                    self.HORIZON))
+
+    def test_cluster_kinds_parse_from_spec_strings(self):
+        plan = FaultPlan.parse("host-crash=0.3,zone-partition=0.2,"
+                               "degraded-host=0.4,collateral-outage=0.1")
+        assert plan.rate(FaultKind.HOST_CRASH) == 0.3
+        assert plan.rate(FaultKind.ZONE_PARTITION) == 0.2
+        assert plan.rate(FaultKind.DEGRADED_HOST) == 0.4
+        assert plan.rate(FaultKind.COLLATERAL_OUTAGE) == 0.1
