@@ -48,6 +48,7 @@ LAYERS: dict[str, int] = {
     "attest": 5,
     "runtimes": 5,
     "workloads": 6,
+    "supply": 6,
     "obs": 7,
     "core": 8,
     "experiments": 9,

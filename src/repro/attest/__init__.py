@@ -35,10 +35,16 @@ from repro.attest.pcs import (
     RequestLog,
     Staleness,
 )
+from repro.attest.tiers import (
+    CollateralDoc,
+    CollateralTier,
+    TierHit,
+    TierStore,
+    ZonedCollateral,
+)
 from repro.attest.service import (
     Admission,
     AttestationSession,
-    CollateralTier,
     LaunchAttestor,
     LaunchVerdict,
     SessionCache,
@@ -76,7 +82,11 @@ __all__ = [
     "FreshnessPolicy",
     "DEFAULT_FRESHNESS",
     "RequestLog",
+    "CollateralDoc",
     "CollateralTier",
+    "TierHit",
+    "TierStore",
+    "ZonedCollateral",
     "TieredCollateral",
     "AttestationSession",
     "SessionCache",

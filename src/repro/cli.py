@@ -7,7 +7,7 @@
   a function and print per-trial times + perf metrics
 - ``confbench compare -f iostress -l lua -p tdx`` — secure/normal ratio
 - ``confbench serve --port 8080`` — start the REST gateway
-- ``confbench experiment fig3|fig4|fig5|fig6|fig7|fig8|fig9|dbms`` —
+- ``confbench experiment fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|dbms`` —
   regenerate a paper artifact and print it
 - ``confbench profile -f cpustress -l python -p tdx`` — run one
   fig6-style cell and print the virtual-time attribution (per
@@ -84,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                      help="regenerate a paper artifact")
     experiment.add_argument("name", choices=(
         "fig3", "fig4", "fig5", "fig5x", "fig6", "fig7", "fig8", "fig9",
+        "fig10",
         "dbms",
         "all",
     ))
@@ -580,6 +581,16 @@ def _cmd_experiment(args) -> int:
         )
         print(result.render())
         status = 0 if result.conserved else 1
+    elif args.name == "fig10":
+        result = experiments.run_fig10(
+            seed=args.seed,
+            trials=trials(1),
+            vms=2 if quick else 3,
+            accesses=4 if quick else 6,
+            runner=runner,
+        )
+        print(result.render())
+        status = 0 if result.reconciled else 1
     elif args.name == "fig8":
         result = experiments.run_fig8(
             seed=args.seed,

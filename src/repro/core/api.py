@@ -202,6 +202,19 @@ class ConfBench:
         """
         return Profile.from_runs(self.gateway.run_log)
 
+    # -- cluster -----------------------------------------------------------------
+
+    def cluster(self):
+        """The cluster sweep + key-release control plane.
+
+        The same :class:`~repro.core.cluster.control.ClusterControl`
+        the REST routes ``/v1/cluster/*`` and ``/v1/kbs/release``
+        front — ``run(...)`` executes one fleet sweep at a time,
+        ``report()`` returns the last one, ``kbs_release(...)``
+        exercises the attestation-gated key path.
+        """
+        return self.gateway.cluster()
+
     # -- introspection -----------------------------------------------------------
 
     def platforms(self) -> list[dict[str, Any]]:

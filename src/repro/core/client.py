@@ -141,6 +141,36 @@ class ConfBenchClient:
             payload["trials"] = trials
         return self._request("POST", "/v1/invoke", payload)
 
+    def cluster_run(self, **params: Any) -> dict:
+        """POST /v1/cluster/run — run one cluster sweep.
+
+        Keyword parameters mirror the documented body fields
+        (``hosts``, ``requests``, ``rate_rps``, ``process``,
+        ``secure_fraction``, ``seed``, ``strategy``, ``signed``).  A
+        429 while another sweep runs is retried per the client's
+        overload policy before surfacing.
+        """
+        return self._request("POST", "/v1/cluster/run", params)
+
+    def cluster_report(self) -> dict:
+        """GET /v1/cluster/report — the last completed sweep."""
+        return self._request("GET", "/v1/cluster/report")
+
+    def kbs_release(self, vm_id: str, platform: str = "tdx",
+                    key_ids: list[str] | None = None,
+                    tamper_evidence: bool = False) -> dict:
+        """POST /v1/kbs/release — attestation-gated key release.
+
+        A denial surfaces as :class:`~repro.errors.GatewayError`
+        carrying the ``[release_denied]`` envelope detail.
+        """
+        payload: dict[str, Any] = {"vm_id": vm_id, "platform": platform}
+        if key_ids is not None:
+            payload["key_ids"] = key_ids
+        if tamper_evidence:
+            payload["tamper_evidence"] = True
+        return self._request("POST", "/v1/kbs/release", payload)
+
     def metrics(self) -> dict:
         """GET /v1/metrics — the gateway's metrics-registry snapshot."""
         return self._request("GET", "/v1/metrics")

@@ -1,87 +1,96 @@
-"""Per-zone attestation collateral for secure cold boots.
+"""Deprecated: per-zone collateral moved to ``repro.attest.tiers``.
 
-PR 8's :class:`repro.attest.service.TieredCollateral` gave one host a
-three-tier collateral path (host → cluster CDN → PCS/KDS origin).
-At cluster scale the same economics apply per *zone*: every zone runs
-its own CDN replica, each host keeps a host-side cache, and the origin
-sits across the WAN.  A secure cold boot resolves collateral through
-the cheapest warm tier:
+PR 9 grew :class:`ZoneCollateral` here as a second collateral-tier
+implementation next to PR 8's
+:class:`~repro.attest.service.TieredCollateral`.  The API redesign
+unified both behind the :class:`~repro.attest.tiers.CollateralTier`
+protocol, and the zone-scale implementation now lives in
+:class:`~repro.attest.tiers.ZonedCollateral` — exactly one
+collateral-tier implementation per economics model remains.
 
-- ``host``   — cached on the booting node: one IPC hop;
-- ``cdn``    — the zone replica is warm: a LAN hop, and the fetch
-  warms the node's host tier on the way through;
-- ``origin`` — cold everywhere: the WAN round-trip, warming both the
-  zone CDN and the node;
-- ``stale``  — the origin is blacked out (a ``collateral-outage``
-  fault window) but the zone CDN holds a previously-fetched copy:
-  serve it stale, exactly the PR 8 stale-serving stance;
-- a blackout with a cold CDN fails the boot — the gateway re-places
-  the request in another zone (or degrades it with a record).
-
-Costs are fixed per tier so the collateral tax of a sweep is exactly
-attributable to its hit pattern.
+This module keeps the old surface alive as a warn-once shim:
+``ZoneCollateral(zones)`` still accepts cluster nodes on
+``fetch_ns(node, platform, now_ns)`` and still mirrors warmth into
+``node.host_collateral``, but every decision and counter is delegated
+to a wrapped :class:`~repro.attest.tiers.ZonedCollateral`.  New code
+(including :class:`~repro.core.cluster.gateway.ClusterGateway`) talks
+to the unified tier directly.
 """
 
 from __future__ import annotations
 
+from repro.attest.tiers import (
+    CDN_TIER_NS,
+    HOST_TIER_NS,
+    NETWORKED_PLATFORMS,
+    ORIGIN_TIER_NS,
+    CollateralDoc,
+    ZonedCollateral,
+)
 from repro.core.cluster.node import ClusterNode
+from repro.core.gateway import warn_once
 
-#: virtual cost of resolving collateral per tier (ns)
-HOST_TIER_NS = 200_000.0
-CDN_TIER_NS = 1_200_000.0
-ORIGIN_TIER_NS = 25_000_000.0
-
-#: platforms with networked collateral; others (CCA's FVP setup) have
-#: nothing to fetch and boot without touching the tiers
-NETWORKED_PLATFORMS = ("tdx", "sev-snp")
+__all__ = [
+    "HOST_TIER_NS", "CDN_TIER_NS", "ORIGIN_TIER_NS",
+    "NETWORKED_PLATFORMS", "ZoneCollateral",
+]
 
 
 class ZoneCollateral:
-    """Zone-replicated collateral caches plus an origin with outages."""
+    """Deprecated shim over :class:`repro.attest.tiers.ZonedCollateral`.
 
-    __slots__ = ("outages", "cdn_warm", "hits")
+    Preserves the legacy node-object surface: host warmth is keyed by
+    node *identity* (two nodes sharing a profile name stay distinct,
+    as the old per-node ``host_collateral`` dict behaved), and
+    ``fetch_ns`` returns the bare tier cost or ``None``.
+    """
+
+    __slots__ = ("_tier", "_node_keys")
 
     def __init__(self, zones: tuple[str, ...]) -> None:
-        #: zone -> (start_ns, end_ns) origin blackout window
-        self.outages: dict[str, tuple[float, float]] = {}
-        #: (zone, platform) -> True once a fetch warmed the replica
-        self.cdn_warm: dict[tuple[str, str], bool] = {}
-        self.hits = {"host": 0, "cdn": 0, "origin": 0, "stale": 0,
-                     "outage_failures": 0, "local": 0}
-        for zone in zones:
-            self.outages.pop(zone, None)   # explicit: no window yet
+        warn_once(
+            "repro.core.cluster.collateral.ZoneCollateral is deprecated; "
+            "use repro.attest.tiers.ZonedCollateral (the unified "
+            "CollateralTier implementation) instead")
+        self._tier = ZonedCollateral(zones)
+        #: node id -> (strong node ref, stable host key); holding the
+        #: ref pins the id so a collected node can never alias a live
+        #: one's warmth
+        self._node_keys: dict[int, tuple[ClusterNode, str]] = {}
+
+    @property
+    def outages(self) -> dict[str, tuple[float, float]]:
+        return self._tier.outages
+
+    @property
+    def cdn_warm(self) -> dict[tuple[str, str], bool]:
+        return self._tier.cdn_warm
+
+    @property
+    def hits(self) -> dict[str, int]:
+        return self._tier.hits
 
     def origin_blacked_out(self, zone: str, now_ns: float) -> bool:
-        window = self.outages.get(zone)
-        return window is not None and window[0] <= now_ns < window[1]
+        return self._tier.origin_blacked_out(zone, now_ns)
+
+    def _host_key(self, node: ClusterNode) -> str:
+        entry = self._node_keys.get(id(node))
+        if entry is None:
+            entry = (node, f"{node.profile.name}#{len(self._node_keys)}")
+            self._node_keys[id(node)] = entry
+        return entry[1]
 
     def fetch_ns(self, node: ClusterNode, platform: str,
                  now_ns: float) -> float | None:
-        """Collateral cost for a secure cold boot, or None on failure.
-
-        Mutates the caches the way a real fetch would: misses warm the
-        tiers they travelled through.
-        """
-        if platform not in NETWORKED_PLATFORMS:
-            self.hits["local"] += 1
-            return 0.0
-        if node.host_collateral.get(platform):
-            self.hits["host"] += 1
-            return HOST_TIER_NS
-        zone = node.profile.zone
-        key = (zone, platform)
-        if self.cdn_warm.get(key):
-            if self.origin_blacked_out(zone, now_ns):
-                # replica holds a copy it cannot refresh: serve stale
-                self.hits["stale"] += 1
-            else:
-                self.hits["cdn"] += 1
-            node.host_collateral[platform] = True
-            return CDN_TIER_NS
-        if self.origin_blacked_out(zone, now_ns):
-            self.hits["outage_failures"] += 1
+        """Collateral cost for a secure cold boot, or None on failure."""
+        hit = self._tier.fetch(
+            CollateralDoc(name="bundle", platform=platform,
+                          host=self._host_key(node),
+                          zone=node.profile.zone),
+            now_ns)
+        if hit is None:
             return None
-        self.hits["origin"] += 1
-        self.cdn_warm[key] = True
-        node.host_collateral[platform] = True
-        return ORIGIN_TIER_NS
+        if hit.tier in ("host", "cdn", "origin", "stale"):
+            # legacy behaviour: mirror warmth onto the node itself
+            node.host_collateral[platform] = True
+        return hit.cost_ns

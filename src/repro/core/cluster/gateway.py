@@ -32,7 +32,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.core.cluster.collateral import ZoneCollateral
+from repro.attest.tiers import CollateralDoc, ZonedCollateral
 from repro.core.cluster.health import HealthMonitor
 from repro.core.cluster.node import ClusterNode, NodeState
 from repro.core.cluster.overload import BrownoutLevel, OverloadController
@@ -135,6 +135,10 @@ class ClusterReport:
     zone_utilization: dict = field(default_factory=dict)
     #: injected cluster faults, "kind@point" in schedule order
     faults_injected: list = field(default_factory=list)
+    #: supply-chain boot counters (eager_pulls / lazy_boots /
+    #: chunk_faults / key_releases) — only populated when the gateway
+    #: runs with an :class:`~repro.supply.ImagePolicy`
+    supply: dict = field(default_factory=dict)
     events_processed: int = 0
 
     @property
@@ -176,6 +180,10 @@ class ClusterReport:
             "events_processed": self.events_processed,
             "conserved": self.conserved,
         }
+        if self.supply:
+            # only sweeps run under an ImagePolicy carry the key, so
+            # legacy reports (and their goldens) stay byte-identical
+            payload["supply"] = dict(sorted(self.supply.items()))
         return dict(sorted(payload.items()))
 
     def emit(self, sink, prefix: str = "cluster") -> None:
@@ -209,7 +217,8 @@ class ClusterGateway:
                  queue_cap: int | None = None,
                  queue_deadline_ns: float = 10_000_000_000.0,
                  retry_floor: int = 20, retry_ratio: float = 0.1,
-                 autoscale_interval_ns: float = 5_000_000_000.0) -> None:
+                 autoscale_interval_ns: float = 5_000_000_000.0,
+                 image_policy=None) -> None:
         if not profiles:
             raise GatewayError("cluster needs at least one host profile")
         self.profiles = tuple(profiles)
@@ -229,7 +238,13 @@ class ClusterGateway:
         self.nodes = [ClusterNode(profile) for profile in self.profiles]
         self.zones = tuple(dict.fromkeys(p.zone for p in self.profiles))
         self.scheduler = PlacementScheduler(self.nodes)
-        self.collateral = ZoneCollateral(self.zones)
+        self.collateral = ZonedCollateral(self.zones)
+        #: optional :class:`~repro.supply.ImagePolicy`: every cold boot
+        #: additionally pays the fixed supply-chain tax (pull strategy
+        #: + key release on secure boots); ``None`` keeps the legacy
+        #: boot model byte-identical
+        self.image_policy = image_policy
+        self._supply: dict[str, int] = {}
         self.monitor = HealthMonitor(
             self.nodes,
             probe_interval_ns=probe_interval_ns,
@@ -387,9 +402,12 @@ class ClusterGateway:
             boot_ns = 0.0
             if cold:
                 if req.secure:
-                    fetch = self.collateral.fetch_ns(
-                        node, node.profile.platform, now_ns)
-                    if fetch is None:
+                    hit = self.collateral.fetch(
+                        CollateralDoc(platform=node.profile.platform,
+                                      host=node.profile.name,
+                                      zone=node.profile.zone),
+                        now_ns)
+                    if hit is None:
                         # collateral blackout: this zone cannot boot a
                         # CVM right now — undo and try another zone
                         node.release(self._mix.names[req.fn],
@@ -398,9 +416,11 @@ class ClusterGateway:
                         excluded = excluded + (node.profile.zone,)
                         continue
                     boot_ns = (SECURE_COLD_BOOT_NS + ATTEST_VERIFY_NS
-                               + fetch)
+                               + hit.cost_ns)
                 else:
                     boot_ns = NORMAL_COLD_BOOT_NS
+                if self.image_policy is not None:
+                    boot_ns += self._supply_boot(req.secure)
             else:
                 boot_ns = WARM_START_NS
             service_ns = (self._mix.costs_ns[req.fn]
@@ -417,6 +437,21 @@ class ClusterGateway:
             # hangs until the probe machine declares the node dead and
             # _on_dead fails it over (detection latency is real latency)
             return True
+
+    def _supply_boot(self, secure: bool) -> float:
+        """One cold boot's supply-chain tax under the image policy."""
+        policy = self.image_policy
+        counters = self._supply
+        if policy.strategy == "lazy":
+            counters["lazy_boots"] = counters.get("lazy_boots", 0) + 1
+            counters["chunk_faults"] = (counters.get("chunk_faults", 0)
+                                        + policy.faults_per_boot)
+        else:
+            counters["eager_pulls"] = counters.get("eager_pulls", 0) + 1
+        if secure and policy.signed:
+            counters["key_releases"] = (counters.get("key_releases", 0)
+                                        + 1)
+        return policy.boot_cost_ns(secure)
 
     def _place(self, req: _Request,
                excluded: tuple[str, ...]) -> ClusterNode | None:
@@ -651,4 +686,5 @@ class ClusterGateway:
             for zone in zone_busy
         }
         report.faults_injected = list(self._faults_injected)
+        report.supply = dict(self._supply)
         return report

@@ -177,6 +177,20 @@ class Gateway:
             secure_pool.attestor = self.attestors.get(entry.platform)
             self.pools[(entry.platform, True)] = secure_pool
             self.pools[(entry.platform, False)] = normal_pool
+        #: lazily-built cluster/KBS control plane (``/v1/cluster/*``,
+        #: ``/v1/kbs/release``); import deferred so plain invocation
+        #: gateways never pay for the cluster layer
+        self._cluster: "object | None" = None
+
+    def cluster(self):
+        """The cluster sweep + key-release control plane (lazy)."""
+        if self._cluster is None:
+            from repro.core.cluster.control import ClusterControl
+
+            seed = (self.config.entries[0].seed
+                    if self.config.entries else 0)
+            self._cluster = ClusterControl(seed=seed)
+        return self._cluster
 
     @staticmethod
     def _respawner(host: Host, pool: TeePool):

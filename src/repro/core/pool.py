@@ -87,6 +87,13 @@ class TeePool:
     #: the same port identity, so it *resumes* its predecessor's
     #: attestation session instead of paying the full flow again.
     attestor: "object | None" = None
+    #: optional :class:`~repro.supply.LaunchProvisioner`; when set on a
+    #: secure pool it replaces the bare attestor on first dispatch —
+    #: the worker's admission then runs the whole supply chain
+    #: (attest → KBS key release → image pull/verify/decrypt/unpack)
+    #: and the full provisioning latency lands in STARTUP, putting the
+    #: supply-chain tax on the boot critical path
+    provisioner: "object | None" = None
 
     @property
     def side(self) -> str:
@@ -231,7 +238,18 @@ class TeePool:
         re-attests cheaply, exactly the warm-relaunch path the
         verifier service models.
         """
-        if self.attestor is None or not self.secure or worker.attested:
+        if not self.secure or worker.attested:
+            return 0.0
+        if self.provisioner is not None:
+            report = self.provisioner.provision(
+                f"{self.platform}/port-{worker.port}")
+            worker.attested = True
+            self._count("attested")
+            self._count("provisioned")
+            if report.resumed:
+                self._count("attest_resumed")
+            return report.admission_ns
+        if self.attestor is None:
             return 0.0
         admission = self.attestor.admit(
             f"{self.platform}/port-{worker.port}")

@@ -16,6 +16,15 @@ as aliases to the same handlers:
   "platform", "secure", "args", "trials"}``
 - ``GET  /v1/metrics``        — the gateway's metrics-registry snapshot
 - ``GET  /v1/stats``          — supervision counters (:class:`GatewayStats`)
+- ``POST /v1/cluster/run``    — run one cluster sweep: ``{"hosts",
+  "requests", "rate_rps", "process", "secure_fraction", "seed",
+  "strategy", "signed"}`` (one sweep at a time; concurrent run → 429)
+- ``GET  /v1/cluster/report`` — the last sweep's full report (404
+  before any sweep has completed)
+- ``POST /v1/kbs/release``    — attestation-gated key release:
+  ``{"vm_id", "platform", "key_ids", "tamper_evidence"}``; a failed
+  or forged attestation gets ``403 release_denied`` with the broker's
+  typed ``reason`` in the envelope
 
 Responses are JSON.  Errors use a uniform envelope::
 
@@ -44,7 +53,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import math
 
 from repro.core.gateway import Gateway, InvocationRequest
-from repro.errors import ConfBenchError, OverloadedError
+from repro.errors import (
+    ConfBenchError,
+    KeyReleaseDeniedError,
+    OverloadedError,
+)
 
 #: resource path (version prefix stripped) -> {HTTP method: handler name}
 _ROUTES: dict[str, dict[str, str]] = {
@@ -54,6 +67,9 @@ _ROUTES: dict[str, dict[str, str]] = {
     "/invoke": {"POST": "invoke"},
     "/metrics": {"GET": "metrics"},
     "/stats": {"GET": "stats"},
+    "/cluster/run": {"POST": "cluster_run"},
+    "/cluster/report": {"GET": "cluster_report"},
+    "/kbs/release": {"POST": "kbs_release"},
 }
 
 #: the documented ``POST /v1/invoke`` body fields (strict mode)
@@ -129,6 +145,14 @@ class _Handler(BaseHTTPRequestHandler):
                 "Retry-After": str(max(
                     1, math.ceil(exc.retry_after_ns / 1e9))),
             })
+        except KeyReleaseDeniedError as exc:
+            # an attestation-gated refusal, not a malformed request:
+            # 403 with the broker's typed reason in the envelope
+            self._send(403, {"error": {
+                "code": "release_denied",
+                "message": str(exc),
+                "reason": exc.reason,
+            }})
         except ConfBenchError as exc:
             self._error(400, "bad_request", str(exc))
 
@@ -207,6 +231,23 @@ class _Handler(BaseHTTPRequestHandler):
         )
         records = self.server.gateway.invoke(request)
         self._send(200, [record.to_dict() for record in records])
+
+    def _handle_cluster_run(self, versioned: bool) -> None:
+        payload = self._read_json()
+        self._send(200, self.server.gateway.cluster().run(payload))
+
+    def _handle_cluster_report(self, versioned: bool) -> None:
+        report = self.server.gateway.cluster().report()
+        if report is None:
+            self._error(404, "not_found",
+                        "no cluster sweep has completed yet; "
+                        "POST /v1/cluster/run first")
+            return
+        self._send(200, report)
+
+    def _handle_kbs_release(self, versioned: bool) -> None:
+        payload = self._read_json()
+        self._send(200, self.server.gateway.cluster().kbs_release(payload))
 
 
 class RestServer(ThreadingHTTPServer):

@@ -491,7 +491,8 @@ def _attestation_service_body(spec: TrialSpec) -> Callable:
         generate_snp_report,
         generate_tdx_quote,
     )
-    from repro.attest.service import CollateralTier, TieredCollateral
+    from repro.attest.service import TieredCollateral
+    from repro.attest.tiers import TierStore
     from repro.errors import AttestationError
     from repro.sim.faults import CircuitBreaker
     from repro.tee.sevsnp import AmdSecureProcessor
@@ -538,7 +539,7 @@ def _attestation_service_body(spec: TrialSpec) -> Callable:
             )
             qe = QuotingEnclave(pcs, infra_rng)
             module = TdxModule()
-            cdn = CollateralTier("cluster-cdn")
+            cdn = TierStore("cluster-cdn")
 
             def make_service(host: str) -> VerifierService:
                 collateral = TieredCollateral(pcs, cdn=cdn)
@@ -633,6 +634,181 @@ def _attestation_service_body(spec: TrialSpec) -> Callable:
             "origin_fetches": origin_fetches,
             "clean_log_entries": clean_log_entries,
             "queue_depth_peak": queue_depth_peak,
+        }
+
+    return body
+
+
+@body_factory("supplychain")
+def _supplychain_body(spec: TrialSpec) -> Callable:
+    """One platform's image supply chain on the boot critical path.
+
+    The fig10 scenario: a deterministic OCI-style image is published
+    to a WAN registry, its layer keys escrowed with a Key Broker
+    Service fronting the platform's verifier service, and two waves
+    of VM launches run the full chain:
+
+    1. wave 1 (cold): each launch attests, gets its keys released,
+       and pulls the image under ``spec.workload`` (``eager`` pulls
+       every chunk at boot; ``lazy`` bootstraps one chunk per layer);
+    2. wave 2 (warm relaunch): the same VM identities return — their
+       attestation sessions resume (PR 8), so key release skips
+       evidence, verification, and the collateral origin round-trip.
+
+    Secure trials sign + encrypt the image and gate keys on a real
+    ``attest.service`` verdict; normal trials pull the same bytes
+    unsigned and in plaintext with no KBS involved — the
+    secure-vs-normal separation is exactly the supply chain's
+    attestation tax.  Lazy trials additionally replay a deterministic
+    warm-path access pattern against the lazily-materialized image,
+    charging chunk faults to the trial's own ledger.
+
+    The body returns per-wave boot latencies plus every service/KBS/
+    registry counter and reconciliation flags (KBS releases vs clean
+    KBS log entries, registry fetches vs clean registry log entries,
+    collateral origin fetches vs clean PCS log entries) so the
+    experiment can verify the counters against the request logs
+    exactly.
+    """
+    from repro.attest.crypto import derived_keypair
+    from repro.attest.service import LaunchAttestor
+    from repro.supply import (
+        KeyBrokerService,
+        LaunchProvisioner,
+        Registry,
+        build_image,
+        sign_image,
+    )
+
+    # body memoization keys on workload but NOT spec.secure, so the
+    # mode is part of the workload name: "<strategy>-<side>"
+    flavor, _, side = spec.workload.partition("-")
+    if flavor not in ("eager", "lazy") or side not in ("secure",
+                                                       "normal"):
+        raise RunnerError(
+            f"unknown supply-chain workload {spec.workload!r}; expected "
+            "<eager|lazy>-<secure|normal>")
+    platform = spec.platform
+    secure = side == "secure"
+    infra_seed = spec.params.get("infra_seed", 0)
+    vms = spec.params.get("vms", 3)
+    accesses = spec.params.get("accesses", 6)
+
+    def body(kernel):
+        ctx = kernel.ctx
+        infra_rng = SimRng(infra_seed,
+                           f"supply-infra/{platform}/{flavor}/{side}")
+        bundle = build_image("confapp", "v1", infra_rng.child("image"),
+                             encrypted=secure)
+        publisher = None
+        if secure:
+            publisher = derived_keypair(infra_rng.child("publisher"),
+                                        "publisher")
+            sign_image(bundle, publisher)
+        registry = Registry()
+        registry.push(bundle)
+        attestor = LaunchAttestor(platform, seed=infra_seed)
+        kbs = KeyBrokerService(attestor.service)
+        kbs.register_bundle(bundle)
+        provisioner = LaunchProvisioner(
+            attestor, registry, kbs, ("confapp", "v1"),
+            publisher_key=publisher.public if publisher else None,
+            strategy=flavor, key_ids=bundle.manifest.key_ids)
+
+        def launch(vm_id: str):
+            """One boot → (admission_ns, resumed, pull report, image).
+
+            Normal trials skip attestation + KBS: the pull happens on
+            a bare admission context, unsigned and in plaintext.
+            """
+            if secure:
+                report = provisioner.provision(vm_id)
+                return (report.admission_ns, report.resumed,
+                        report.pull, report.image)
+            from repro.guestos.filesystem import InMemoryFileSystem
+
+            boot_ctx = attestor.admission_context(vm_id)
+            fs = InMemoryFileSystem()
+            pulled = provisioner.puller().pull("confapp", "v1", fs,
+                                               boot_ctx)
+            report = getattr(pulled, "report", pulled)
+            image = pulled if flavor == "lazy" else None
+            return boot_ctx.ledger.total(), False, report, image
+
+        boots: dict[str, list[float]] = {"wave1": [], "wave2": []}
+        resumed = 0
+        chunk_faults = 0
+        chunks_fetched = 0
+        bytes_pulled = 0
+        with ctx.trace.span("wave1-cold", ctx):
+            for index in range(vms):
+                admission_ns, _, pull, image = launch(f"vm-{index}")
+                boots["wave1"].append(admission_ns)
+                chunks_fetched += pull.chunks_fetched
+                bytes_pulled += pull.bytes_pulled
+                if image is not None:
+                    fault_rng = ctx.rng.child(f"faults/w1/vm-{index}")
+                    manifest = image.manifest
+                    for _ in range(accesses):
+                        layer = fault_rng.randint(
+                            0, len(manifest.layers) - 1)
+                        chunk = fault_rng.randint(
+                            0, len(manifest.layers[layer].chunks) - 1)
+                        if image.access(layer, chunk, ctx):
+                            chunk_faults += 1
+                            chunks_fetched += 1
+        with ctx.trace.span("wave2-relaunch", ctx):
+            for index in range(vms):
+                admission_ns, was_resumed, pull, _ = launch(
+                    f"vm-{index}")
+                boots["wave2"].append(admission_ns)
+                chunks_fetched += pull.chunks_fetched
+                bytes_pulled += pull.bytes_pulled
+                if was_resumed:
+                    resumed += 1
+
+        counters: dict[str, int] = {}
+
+        def add_counters(prefix, stats):
+            for name, value in stats.items():
+                counters[f"{prefix}.{name}"] = value
+
+        add_counters("kbs", kbs.stats)
+        add_counters("registry", registry.stats)
+        add_counters("service", attestor.service.stats)
+        add_counters("sessions", attestor.service.sessions.stats)
+        if attestor.collateral is not None:
+            add_counters("collateral", attestor.collateral.stats)
+        add_counters("provisioner", provisioner.stats)
+
+        kbs_reconciled = kbs.stats["released"] == kbs.clean_log_entries()
+        registry_reconciled = (
+            registry.stats["manifest_fetches"]
+            + registry.stats["chunk_fetches"]
+            == registry.clean_log_entries())
+        if secure and attestor.pcs is not None:
+            origin_fetches = attestor.collateral.stats["origin.fetches"]
+            clean_pcs_entries = sum(
+                1 for entry in attestor.pcs.request_log
+                if "!" not in entry)
+            pcs_reconciled = origin_fetches == clean_pcs_entries
+        else:
+            origin_fetches = 0
+            clean_pcs_entries = 0
+            pcs_reconciled = True
+
+        return {
+            "boot_ns": {wave: list(values)
+                        for wave, values in sorted(boots.items())},
+            "bytes_pulled": bytes_pulled,
+            "chunk_faults": chunk_faults,
+            "chunks_fetched": chunks_fetched,
+            "clean_pcs_entries": clean_pcs_entries,
+            "counters": dict(sorted(counters.items())),
+            "origin_fetches": origin_fetches,
+            "reconciled": (kbs_reconciled and registry_reconciled
+                           and pcs_reconciled),
+            "resumed": resumed,
         }
 
     return body

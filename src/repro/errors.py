@@ -171,3 +171,31 @@ class RelayError(ConfBenchError):
 
 class MonitorError(ConfBenchError):
     """Errors from the perf-stat style monitoring integration."""
+
+
+class SupplyChainError(ConfBenchError):
+    """Errors from the confidential container supply chain."""
+
+
+class ImageVerificationError(SupplyChainError):
+    """An image failed signature or layer-digest verification.
+
+    Raised when a manifest signature does not validate against the
+    publisher key, or a pulled layer/chunk hashes to something other
+    than its content-addressed digest — both abort the launch before
+    any layer byte reaches the guest filesystem.
+    """
+
+
+class KeyReleaseDeniedError(SupplyChainError):
+    """The Key Broker Service refused to release layer keys.
+
+    Carries the broker's denial ``reason`` (failed attestation, stale
+    collateral, unknown key id) so callers — and the REST envelope —
+    can report *why* the launch was refused without parsing message
+    text.
+    """
+
+    def __init__(self, message: str, reason: str = "attestation") -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -17,6 +17,7 @@ module                       paper artifact
 :mod:`fig7_cca_heatmap`      Fig. 7 — CCA FaaS heatmap
 :mod:`fig8_cca_box`          Fig. 8 — CCA box-and-whiskers
 :mod:`fig9_cluster`          Fig. 9 ext — cluster resilience sweep
+:mod:`fig10_supplychain`     Fig. 10 ext — confidential supply chain
 ==========================  ==========================================
 """
 
@@ -29,6 +30,10 @@ from repro.experiments.fig6_heatmap import HeatmapResult, run_fig6
 from repro.experiments.fig7_cca_heatmap import run_fig7
 from repro.experiments.fig8_cca_box import Fig8Result, run_fig8
 from repro.experiments.fig9_cluster import Fig9ClusterResult, run_fig9
+from repro.experiments.fig10_supplychain import (
+    Fig10SupplyResult,
+    run_fig10,
+)
 
 __all__ = [
     "Fig3Result", "run_fig3",
@@ -39,4 +44,5 @@ __all__ = [
     "HeatmapResult", "run_fig6", "run_fig7",
     "Fig8Result", "run_fig8",
     "Fig9ClusterResult", "run_fig9",
+    "Fig10SupplyResult", "run_fig10",
 ]

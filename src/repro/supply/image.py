@@ -1,0 +1,253 @@
+"""OCI-style confidential container images.
+
+The supply-chain model the coco-serverless stack implies: an image is
+a *manifest* (canonical JSON, content-addressed by its SHA-256
+digest) naming a sequence of *layers*, each layer a content-addressed
+blob split into fixed-size *chunks* (the nydus unit of lazy pull).
+Confidential layers are sealed with a per-layer symmetric key that
+only the Key Broker Service releases — and the registry stores only
+sealed bytes, so chunk digests cover exactly what travels the wire
+and a tampered blob is caught *before* any decryption key is used.
+
+Signatures are cosign-style: the publisher signs the manifest's
+canonical bytes with the repo's pure-Python RSA
+(:mod:`repro.attest.crypto`), and verifiers check the signature
+before trusting any digest in the manifest.
+
+Sealing is an XOR keystream of SHA-256 blocks (``sha256(key ||
+block_index)``), chosen because it is *offset-addressable*: a lazy
+puller can decrypt chunk 17 without materializing chunks 0–16, which
+is what makes chunk-on-demand work on encrypted layers.  This is a
+simulation-grade cipher — the point is deterministic bytes and
+realistic cost accounting, not IND-CPA.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ImageVerificationError, SupplyChainError
+from repro.sim.rng import SimRng
+
+#: nydus-style chunk size: the unit of lazy pull and of content
+#: addressing below the layer
+CHUNK_BYTES = 65_536
+
+#: sealing keystream throughput (ns/byte) — symmetric crypto is an
+#: order of magnitude cheaper than the RSA ops in attest.crypto
+SEAL_COST_PER_BYTE_NS = 0.9
+
+#: SHA-256 keystream block size (the digest size)
+_KS_BLOCK = 32
+
+
+def sha256_digest(data: bytes) -> str:
+    """The OCI-style content address of ``data``."""
+    return "sha256:" + hashlib.sha256(data).hexdigest()
+
+
+def _expand(seed: bytes, size: int) -> bytes:
+    """Deterministically expand ``seed`` to ``size`` pseudo-bytes.
+
+    Layer content must be deterministic (byte-identical serial vs
+    parallel) and cheap; hashing a 32-byte seed per 32-byte block is
+    far faster than drawing every byte through the RNG.
+    """
+    blocks = []
+    for index in range((size + _KS_BLOCK - 1) // _KS_BLOCK):
+        blocks.append(hashlib.sha256(
+            seed + index.to_bytes(8, "big")).digest())
+    return b"".join(blocks)[:size]
+
+
+def keystream_xor(data: bytes, key: bytes, offset: int = 0) -> bytes:
+    """Seal/unseal ``data`` at byte ``offset`` within its layer.
+
+    XOR with ``sha256(key || block_index)`` blocks.  ``offset`` must be
+    block-aligned so chunks decrypt independently of their neighbours.
+    """
+    if offset % _KS_BLOCK:
+        raise SupplyChainError(
+            f"keystream offset must be {_KS_BLOCK}-byte aligned, "
+            f"got {offset}")
+    first_block = offset // _KS_BLOCK
+    blocks = []
+    for index in range((len(data) + _KS_BLOCK - 1) // _KS_BLOCK):
+        blocks.append(hashlib.sha256(
+            key + (first_block + index).to_bytes(8, "big")).digest())
+    stream = b"".join(blocks)[:len(data)]
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """One chunk of a layer blob: content address + position."""
+
+    digest: str
+    size: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class LayerDescriptor:
+    """One layer: the stored (possibly sealed) blob, chunked.
+
+    ``digest`` addresses the stored bytes — sealed bytes for encrypted
+    layers — so integrity verification never needs the key.
+    ``key_id`` names the KBS-held decryption key; empty for plaintext
+    layers.
+    """
+
+    index: int
+    digest: str
+    size: int
+    encrypted: bool = False
+    key_id: str = ""
+    chunks: tuple[ChunkRef, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "digest": self.digest,
+            "size": self.size,
+            "encrypted": self.encrypted,
+            "key_id": self.key_id,
+            "chunks": [{"digest": c.digest, "size": c.size,
+                        "offset": c.offset} for c in self.chunks],
+        }
+
+
+@dataclass(frozen=True)
+class ImageManifest:
+    """The content-addressed root of one image."""
+
+    name: str
+    tag: str
+    layers: tuple[LayerDescriptor, ...] = ()
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical (sorted-key, no-whitespace) JSON — what is signed."""
+        payload = {
+            "name": self.name,
+            "tag": self.tag,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    @property
+    def digest(self) -> str:
+        return sha256_digest(self.canonical_bytes())
+
+    @property
+    def total_size(self) -> int:
+        return sum(layer.size for layer in self.layers)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(len(layer.chunks) for layer in self.layers)
+
+    @property
+    def key_ids(self) -> tuple[str, ...]:
+        return tuple(layer.key_id for layer in self.layers
+                     if layer.encrypted)
+
+
+@dataclass(frozen=True)
+class ImageSignature:
+    """A cosign-style detached signature over the manifest bytes."""
+
+    manifest_digest: str
+    signature: bytes
+    key_fingerprint: str
+
+
+@dataclass
+class ImageBundle:
+    """Everything a publisher pushes: manifest, signature, blobs, keys.
+
+    ``blobs`` maps chunk digest → stored chunk bytes.  ``keys`` maps
+    ``key_id`` → layer key and never leaves the publisher/KBS side —
+    the registry only ever sees sealed bytes.
+    """
+
+    manifest: ImageManifest
+    signature: ImageSignature | None = None
+    blobs: dict[str, bytes] = field(default_factory=dict)
+    keys: dict[str, bytes] = field(default_factory=dict)
+
+
+def build_image(name: str, tag: str, rng: SimRng,
+                layer_sizes: tuple[int, ...] = (3 * CHUNK_BYTES,
+                                                2 * CHUNK_BYTES),
+                encrypted: bool = True) -> ImageBundle:
+    """Deterministically build one image from an RNG substream.
+
+    Layer content, per-layer keys, and therefore every digest are pure
+    functions of ``(name, tag, rng stream, layer_sizes, encrypted)``.
+    """
+    layers = []
+    blobs: dict[str, bytes] = {}
+    keys: dict[str, bytes] = {}
+    for index, size in enumerate(layer_sizes):
+        plaintext = _expand(rng.child(f"layer/{index}").bytes(32), size)
+        if encrypted:
+            key_id = f"{name}:{tag}/layer-{index}"
+            key = rng.child(f"key/{index}").bytes(32)
+            keys[key_id] = key
+            stored = keystream_xor(plaintext, key)
+        else:
+            key_id = ""
+            stored = plaintext
+        chunks = []
+        for offset in range(0, size, CHUNK_BYTES):
+            chunk_bytes = stored[offset:offset + CHUNK_BYTES]
+            digest = sha256_digest(chunk_bytes)
+            chunks.append(ChunkRef(digest=digest, size=len(chunk_bytes),
+                                   offset=offset))
+            blobs[digest] = chunk_bytes
+        layers.append(LayerDescriptor(
+            index=index, digest=sha256_digest(stored), size=size,
+            encrypted=encrypted, key_id=key_id, chunks=tuple(chunks)))
+    return ImageBundle(manifest=ImageManifest(name=name, tag=tag,
+                                              layers=tuple(layers)),
+                       blobs=blobs, keys=keys)
+
+
+def sign_image(bundle: ImageBundle, keypair) -> ImageSignature:
+    """Attach the publisher's signature to ``bundle`` (cosign-style)."""
+    signature = ImageSignature(
+        manifest_digest=bundle.manifest.digest,
+        signature=keypair.sign(bundle.manifest.canonical_bytes()),
+        key_fingerprint=keypair.public.fingerprint())
+    bundle.signature = signature
+    return signature
+
+
+def verify_image_signature(manifest: ImageManifest,
+                           signature: ImageSignature | None,
+                           public_key, ctx) -> None:
+    """Check the manifest signature, charging the verify cost.
+
+    Raises :class:`ImageVerificationError` on a missing signature, a
+    digest mismatch, or a signature that does not validate against
+    ``public_key`` — all before any layer byte is trusted.
+    """
+    from repro.attest.crypto import DIGEST_COST_PER_BYTE_NS, VERIFY_COST_NS
+
+    canonical = manifest.canonical_bytes()
+    ctx.crypto(DIGEST_COST_PER_BYTE_NS * len(canonical) + VERIFY_COST_NS)
+    if signature is None:
+        raise ImageVerificationError(
+            f"{manifest.name}:{manifest.tag}: unsigned image rejected "
+            "by secure pull policy")
+    if signature.manifest_digest != manifest.digest:
+        raise ImageVerificationError(
+            f"{manifest.name}:{manifest.tag}: signature covers "
+            f"{signature.manifest_digest}, manifest is {manifest.digest}")
+    if not public_key.verify(canonical, signature.signature):
+        raise ImageVerificationError(
+            f"{manifest.name}:{manifest.tag}: manifest signature does "
+            f"not validate against key {public_key.fingerprint()}")

@@ -1,0 +1,160 @@
+"""Supply-chain provisioning on the launch critical path.
+
+Two consumers, two fidelities:
+
+- :class:`LaunchProvisioner` — the full-fidelity path for
+  :class:`~repro.core.pool.TeePool` admission: attest the launch,
+  release layer keys through the KBS, pull + verify + decrypt +
+  unpack the image into a fresh guest filesystem, and report exactly
+  where the virtual nanoseconds went.  Session resumption (PR 8)
+  makes repeat admissions of the same VM identity cheap end-to-end:
+  the KBS resumes instead of re-verifying and the registry is only
+  asked for what the strategy still needs.
+- :class:`ImagePolicy` — the fixed-cost abstraction for the
+  cluster-scale sweep (:class:`~repro.core.cluster.gateway
+  .ClusterGateway`), where million-request traces cannot afford
+  per-chunk byte work.  Costs are constants so a sweep's supply tax
+  is exactly attributable to its boot mix, mirroring how the
+  zone-collateral tiers price their hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attest.service import LaunchAttestor, LaunchVerdict
+from repro.guestos.filesystem import InMemoryFileSystem
+from repro.supply.kbs import KeyBrokerService
+from repro.supply.registry import (
+    EagerPull,
+    LazyImage,
+    LazyPull,
+    PullReport,
+    Registry,
+)
+
+#: fixed cluster-model costs (ns): what one cold boot adds for each
+#: supply-chain step.  Eager pulls the whole image; lazy pays a small
+#: bootstrap plus per-fault chunk fetches after boot.
+EAGER_PULL_NS = 95_000_000.0
+LAZY_BOOTSTRAP_NS = 18_000_000.0
+CHUNK_FAULT_NS = 2_400_000.0
+KEY_RELEASE_NS = 6_500_000.0
+
+
+@dataclass(frozen=True)
+class ImagePolicy:
+    """Fixed-cost supply-chain policy for cluster-scale sweeps.
+
+    ``strategy`` is ``"eager"`` or ``"lazy"``; ``signed`` adds the
+    key-release cost to *secure* cold boots (normal boots pull the
+    same bytes but never talk to the KBS).  ``faults_per_boot`` is
+    the deterministic number of post-boot chunk faults a lazy boot
+    pays — the warm-path tail the strategy trades its fast boot for.
+    """
+
+    strategy: str = "eager"
+    signed: bool = True
+    eager_pull_ns: float = EAGER_PULL_NS
+    lazy_bootstrap_ns: float = LAZY_BOOTSTRAP_NS
+    chunk_fault_ns: float = CHUNK_FAULT_NS
+    key_release_ns: float = KEY_RELEASE_NS
+    faults_per_boot: int = 4
+
+    def boot_cost_ns(self, secure: bool) -> float:
+        """The supply-chain tax one cold boot adds to the ledger."""
+        if self.strategy == "lazy":
+            cost = (self.lazy_bootstrap_ns
+                    + self.faults_per_boot * self.chunk_fault_ns)
+        else:
+            cost = self.eager_pull_ns
+        if secure and self.signed:
+            cost += self.key_release_ns
+        return cost
+
+
+@dataclass
+class ProvisionReport:
+    """One VM's full boot-path supply-chain accounting."""
+
+    vm_id: str
+    verdict: LaunchVerdict
+    pull: PullReport
+    release_ns: float = 0.0
+    admission_ns: float = 0.0
+    #: the lazily-materialized image, when the strategy is lazy
+    image: "LazyImage | None" = None
+    fs: InMemoryFileSystem = field(default_factory=InMemoryFileSystem)
+
+    @property
+    def resumed(self) -> bool:
+        return self.verdict.resumed
+
+
+class LaunchProvisioner:
+    """Boot one confidential workload: attest → keys → image.
+
+    Order matters and is the whole point: evidence is verified (or a
+    session resumed) *first*, keys move only on acceptance, and only
+    then does the image pull start — so every step of the supply
+    chain lands on the boot critical path and a denial aborts the
+    launch before any layer byte reaches the guest.
+    """
+
+    def __init__(self, attestor: LaunchAttestor, registry: Registry,
+                 kbs: KeyBrokerService, image: tuple[str, str],
+                 publisher_key=None, strategy: str = "eager",
+                 key_ids: tuple[str, ...] = ()) -> None:
+        self.attestor = attestor
+        self.registry = registry
+        self.kbs = kbs
+        self.image_name, self.image_tag = image
+        self.publisher_key = publisher_key
+        #: deploy-time policy: which escrowed keys this image needs
+        #: (its manifest's ``key_ids``)
+        self.key_ids = tuple(key_ids)
+        if strategy not in ("eager", "lazy"):
+            raise ValueError(f"unknown pull strategy {strategy!r}")
+        self.strategy = strategy
+        self.stats: dict[str, int] = {
+            "provisioned": 0,
+            "resumed": 0,
+            "aborted": 0,
+        }
+
+    def puller(self):
+        cls = LazyPull if self.strategy == "lazy" else EagerPull
+        return cls(self.registry, self.publisher_key)
+
+    def provision(self, vm_id: str) -> ProvisionReport:
+        """Run the full supply chain for one launch of ``vm_id``.
+
+        Raises :class:`~repro.errors.KeyReleaseDeniedError` when the
+        KBS refuses and :class:`~repro.errors.ImageVerificationError`
+        when the image fails signature or digest checks — either way
+        the launch aborts with nothing unpacked.
+        """
+        ctx = self.attestor.admission_context(vm_id)
+        job = self.attestor.make_job(vm_id, ctx)
+        try:
+            release = self.kbs.release(job, self.key_ids, ctx)
+            fs = InMemoryFileSystem()
+            puller = self.puller()
+            pulled = puller.pull(self.image_name, self.image_tag, fs,
+                                 ctx, keys=release.keys)
+        except Exception:
+            self.stats["aborted"] += 1
+            raise
+        if isinstance(pulled, LazyImage):
+            image: LazyImage | None = pulled
+            pull_report = pulled.report
+        else:
+            image = None
+            pull_report = pulled
+        self.stats["provisioned"] += 1
+        if release.resumed:
+            self.stats["resumed"] += 1
+        return ProvisionReport(
+            vm_id=vm_id, verdict=release.verdict, pull=pull_report,
+            release_ns=release.release_ns,
+            admission_ns=ctx.ledger.total(), image=image, fs=fs)

@@ -26,7 +26,7 @@ from repro.attest import (
     generate_tdx_quote,
 )
 from repro.attest.pcs import FreshnessPolicy
-from repro.attest.service import CollateralTier
+from repro.attest.tiers import TierStore
 from repro.errors import AttestationError, CollateralTimeoutError
 from repro.guestos.context import ExecContext
 from repro.hw.machine import xeon_gold_5515
@@ -68,7 +68,7 @@ class TestTieredCollateral:
     def test_fallback_order_and_charges(self):
         """origin on the cold path, host tier after, CDN for a cold
         host behind a warm cluster — each strictly cheaper."""
-        cdn = CollateralTier("cluster")
+        cdn = TierStore("cluster")
         service_a, pcs, job = make_tdx_service(cdn=cdn)
         ctx = make_ctx(1)
 

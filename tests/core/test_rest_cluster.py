@@ -1,0 +1,167 @@
+"""The ``/v1/cluster/*`` and ``/v1/kbs/release`` REST surface.
+
+Runs a real server on an ephemeral port and exercises the new routes
+against the uniform envelope: 200 on the happy paths, 404 before any
+sweep, 400 on strict-field violations, 405 on wrong methods, 403 with
+``release_denied`` + the broker's typed ``reason`` on refused key
+release, and 429 when a second sweep arrives mid-run.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.client import ConfBenchClient
+from repro.core.cluster.control import ClusterControl
+from repro.core.config import GatewayConfig, PlatformEntry
+from repro.core.gateway import Gateway
+from repro.core.rest import RestServer
+from repro.errors import GatewayError, OverloadedError
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = GatewayConfig(entries=[
+        PlatformEntry(platform="tdx", host="xeon", base_port=9700),
+    ], default_trials=1)
+    with RestServer(Gateway(config), port=0) as rest:
+        yield rest
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ConfBenchClient(port=server.port)
+
+
+def call(server, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), \
+                json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class TestClusterRoutes:
+    def test_report_404_before_any_sweep(self, server):
+        status, _headers, payload = call(server, "GET",
+                                         "/v1/cluster/report")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_run_then_report(self, server, client):
+        report = client.cluster_run(hosts=2, requests=300,
+                                    rate_rps=1_500.0)
+        assert report["requests"] == 300
+        assert report["served"] > 0
+        assert client.cluster_report() == report
+
+    def test_supply_policy_rides_the_sweep(self, server, client):
+        report = client.cluster_run(hosts=2, requests=300,
+                                    rate_rps=1_500.0, strategy="lazy")
+        assert report["supply"]["lazy_boots"] > 0
+        assert report["supply"]["chunk_faults"] > 0
+
+    def test_unknown_field_is_strict_400(self, server):
+        status, _headers, payload = call(server, "POST",
+                                         "/v1/cluster/run",
+                                         {"bogus": 1})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert "bogus" in payload["error"]["message"]
+
+    def test_bad_strategy_is_400(self, server):
+        status, _headers, payload = call(server, "POST",
+                                         "/v1/cluster/run",
+                                         {"strategy": "psychic"})
+        assert status == 400
+        assert "psychic" in payload["error"]["message"]
+
+    def test_wrong_method_is_405_with_allow(self, server):
+        status, headers, payload = call(server, "GET", "/v1/cluster/run")
+        assert status == 405
+        assert headers["Allow"] == "POST"
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_concurrent_sweep_is_shed_429(self):
+        control = ClusterControl()
+        with control._run_lock:
+            with pytest.raises(OverloadedError) as excinfo:
+                control.run({"hosts": 2, "requests": 200})
+            assert excinfo.value.retry_after_ns > 0.0
+        assert control.shed == 1
+        # once the running sweep drains, the retry succeeds
+        assert control.run({"hosts": 2, "requests": 200})["served"] > 0
+
+    def test_429_envelope_carries_retry_after(self, server):
+        gateway = server.gateway
+        control = gateway.cluster()
+        with control._run_lock:
+            status, headers, payload = call(
+                server, "POST", "/v1/cluster/run",
+                {"hosts": 2, "requests": 200})
+        assert status == 429
+        assert payload["error"]["code"] == "overloaded"
+        assert payload["error"]["retry_after_ns"] > 0
+        assert int(headers["Retry-After"]) >= 1
+
+
+class TestKbsRoute:
+    def test_release_and_resume(self, server, client):
+        first = client.kbs_release("vm-1")
+        assert first["released"]
+        assert not first["resumed"]
+        second = client.kbs_release("vm-1")
+        assert second["resumed"]
+        assert second["tier"] == "session"
+        assert second["released"] == first["released"]
+
+    def test_denied_attestation_is_403_release_denied(self, server):
+        status, _headers, payload = call(
+            server, "POST", "/v1/kbs/release",
+            {"vm_id": "vm-evil", "tamper_evidence": True})
+        assert status == 403
+        assert payload["error"]["code"] == "release_denied"
+        assert payload["error"]["reason"] == "attestation"
+
+    def test_unknown_key_is_403_with_reason(self, server):
+        status, _headers, payload = call(
+            server, "POST", "/v1/kbs/release",
+            {"vm_id": "vm-1", "key_ids": ["ghost"]})
+        assert status == 403
+        assert payload["error"]["reason"] == "unknown_key"
+
+    def test_client_surfaces_denial_as_gateway_error(self, server, client):
+        with pytest.raises(GatewayError, match="release_denied"):
+            client.kbs_release("vm-2", tamper_evidence=True)
+
+    def test_missing_vm_id_is_400(self, server):
+        status, _headers, payload = call(server, "POST",
+                                         "/v1/kbs/release", {})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_unsupported_platform_is_400(self, server):
+        status, _headers, payload = call(
+            server, "POST", "/v1/kbs/release",
+            {"vm_id": "vm-1", "platform": "novm"})
+        assert status == 400
+        assert "novm" in payload["error"]["message"]
+
+
+class TestFacade:
+    def test_confbench_cluster_accessor(self):
+        from repro.core.api import ConfBench
+
+        bench = ConfBench(seed=3)
+        control = bench.cluster()
+        assert control is bench.cluster()  # one lazy instance
+        report = control.run({"hosts": 2, "requests": 200})
+        assert control.report() == report

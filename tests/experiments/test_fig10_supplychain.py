@@ -1,0 +1,75 @@
+"""Tests for the fig10 supply-chain experiment harness."""
+
+import json
+
+import pytest
+
+from repro.core.runner import TrialRunner
+from repro.experiments import run_fig10
+
+CELLS = ("eager-secure", "eager-normal", "lazy-secure", "lazy-normal")
+QUICK = dict(trials=1, vms=2, accesses=4)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10(**QUICK)
+
+
+class TestFig10:
+    def test_covers_the_whole_matrix(self, fig10):
+        expected = {f"{platform}/{cell}"
+                    for platform in ("tdx", "sev-snp") for cell in CELLS}
+        assert set(fig10.rows) == expected
+        for row in fig10.rows.values():
+            assert row["cold_boot_ns"] > 0.0
+            assert row["warm_boot_ns"] > 0.0
+            assert row["chunks_fetched"] > 0
+
+    def test_headline_separations_hold(self, fig10):
+        for platform in ("tdx", "sev-snp"):
+            for side in ("secure", "normal"):
+                assert (fig10.rows[f"{platform}/lazy-{side}"]["cold_boot_ns"]
+                        < fig10.rows[f"{platform}/eager-{side}"]
+                        ["cold_boot_ns"])
+            for strategy in ("eager", "lazy"):
+                assert (fig10.rows[f"{platform}/{strategy}-secure"]
+                        ["cold_boot_ns"]
+                        > fig10.rows[f"{platform}/{strategy}-normal"]
+                        ["cold_boot_ns"])
+
+    def test_counters_reconcile_with_request_logs(self, fig10):
+        assert fig10.reconciled
+        assert fig10.metrics["counters"]["supply.reconciled"] == 1
+
+    def test_resumption_only_on_secure_cells(self, fig10):
+        for cell, row in fig10.rows.items():
+            if cell.endswith("-secure"):
+                assert row["resumed"] > 0
+            else:
+                assert row["resumed"] == 0
+
+    def test_chunk_faults_only_on_lazy_cells(self, fig10):
+        for cell, row in fig10.rows.items():
+            if "/lazy-" in cell:
+                assert row["chunk_faults"] > 0
+            else:
+                assert row["chunk_faults"] == 0
+
+    def test_warm_relaunch_is_cheaper_on_secure(self, fig10):
+        for platform in ("tdx", "sev-snp"):
+            for strategy in ("eager", "lazy"):
+                row = fig10.rows[f"{platform}/{strategy}-secure"]
+                assert row["warm_boot_ns"] < row["cold_boot_ns"]
+
+    def test_render_mentions_the_headlines(self, fig10):
+        text = fig10.render()
+        assert "confidential supply chain" in text
+        assert "session resumptions" in text
+        assert "reconcile" in text
+
+    def test_serial_vs_parallel_snapshots_identical(self):
+        serial = run_fig10(runner=TrialRunner(), **QUICK)
+        parallel = run_fig10(runner=TrialRunner(jobs=2), **QUICK)
+        assert (json.dumps(serial.metrics, sort_keys=True)
+                == json.dumps(parallel.metrics, sort_keys=True))
